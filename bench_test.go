@@ -1,0 +1,189 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/lowerbound"
+	"repro/internal/phonecall"
+)
+
+// The benchmarks below regenerate the measurements behind every experiment
+// table (E1–E7, see DESIGN.md §4 and EXPERIMENTS.md). Each benchmark reports
+// the relevant figure of merit (rounds, messages per node, bits per payload
+// bit, …) via b.ReportMetric so that `go test -bench=.` reproduces the
+// numbers, not only the wall-clock cost of the simulation.
+
+func benchSizes() []int { return []int{1000, 10000, 100000} }
+
+func runOnce(b *testing.B, algo harness.Algorithm, n int, opts harness.Options) {
+	b.Helper()
+	var rounds, msgs, bits float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Run(algo, n, uint64(i+1), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllInformed {
+			b.Fatalf("%s informed only %d/%d", algo, res.Informed, res.Live)
+		}
+		rounds += float64(res.CompletionRound)
+		msgs += res.MessagesPerNode
+		bits += float64(res.Bits) / float64(res.N) / float64(phonecall.DefaultPayloadBits)
+	}
+	b.ReportMetric(rounds/float64(b.N), "rounds")
+	b.ReportMetric(msgs/float64(b.N), "msgs/node")
+	b.ReportMetric(bits/float64(b.N), "bits/(n*b)")
+}
+
+// BenchmarkE1Rounds regenerates E1: completion rounds of the paper's
+// algorithms and the baselines across the size sweep.
+func BenchmarkE1Rounds(b *testing.B) {
+	for _, algo := range []harness.Algorithm{harness.AlgoPushPull, harness.AlgoKarp, harness.AlgoAddressBook, harness.AlgoCluster1, harness.AlgoCluster2} {
+		for _, n := range benchSizes() {
+			b.Run(fmt.Sprintf("%s/n=%d", algo, n), func(b *testing.B) {
+				runOnce(b, algo, n, harness.Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkE2Messages regenerates E2: messages per node (the same runs as E1;
+// the metric of interest is msgs/node).
+func BenchmarkE2Messages(b *testing.B) {
+	for _, algo := range []harness.Algorithm{harness.AlgoPushPull, harness.AlgoKarp, harness.AlgoCluster2} {
+		for _, n := range benchSizes() {
+			b.Run(fmt.Sprintf("%s/n=%d", algo, n), func(b *testing.B) {
+				runOnce(b, algo, n, harness.Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkE3Bits regenerates E3: total bits relative to n·b for growing
+// payload sizes.
+func BenchmarkE3Bits(b *testing.B) {
+	for _, payload := range []int{256, 1024, 4096} {
+		for _, algo := range []harness.Algorithm{harness.AlgoPushPull, harness.AlgoCluster2} {
+			b.Run(fmt.Sprintf("%s/b=%d", algo, payload), func(b *testing.B) {
+				var ratio float64
+				for i := 0; i < b.N; i++ {
+					res, err := harness.Run(algo, 20000, uint64(i+1), harness.Options{PayloadBits: payload})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ratio += float64(res.Bits) / float64(res.N) / float64(payload)
+				}
+				b.ReportMetric(ratio/float64(b.N), "bits/(n*b)")
+			})
+		}
+	}
+}
+
+// BenchmarkE4LowerBound regenerates E4: the knowledge-graph feasibility bound
+// of Theorem 3.
+func BenchmarkE4LowerBound(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var minT float64
+			for i := 0; i < b.N; i++ {
+				t, _ := lowerbound.MinRounds(n, uint64(i+1))
+				minT += float64(t)
+			}
+			b.ReportMetric(minT/float64(b.N), "minRounds")
+			b.ReportMetric(lowerbound.TheoreticalMinRounds(n), "0.99loglogn")
+		})
+	}
+}
+
+// BenchmarkE5Delta regenerates E5: the Δ trade-off of Theorem 4 / Lemma 16.
+func BenchmarkE5Delta(b *testing.B) {
+	const n = 50000
+	for _, delta := range []int{64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("delta=%d", delta), func(b *testing.B) {
+			var rounds, maxComms float64
+			for i := 0; i < b.N; i++ {
+				res, err := harness.Run(harness.AlgoClusterPushPull, n, uint64(i+1), harness.Options{Delta: delta})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AllInformed {
+					b.Fatalf("informed only %d/%d", res.Informed, res.Live)
+				}
+				rounds += float64(res.Rounds)
+				maxComms += float64(res.MaxCommsPerRound)
+			}
+			b.ReportMetric(rounds/float64(b.N), "rounds")
+			b.ReportMetric(maxComms/float64(b.N)/float64(delta), "maxΔ/Δ")
+			b.ReportMetric(lowerbound.DeltaBound(n, delta), "lemma16")
+		})
+	}
+}
+
+// BenchmarkE6Faults regenerates E6: uninformed survivors after F oblivious
+// failures (Theorem 19).
+func BenchmarkE6Faults(b *testing.B) {
+	const n = 50000
+	for _, frac := range []float64{0.05, 0.20} {
+		f := int(frac * n)
+		b.Run(fmt.Sprintf("F=%d", f), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				res, err := Broadcast(Config{N: n, Seed: uint64(i + 1), Failures: f, FailureSeed: uint64(i + 1000)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio += float64(res.UninformedSurvivors()) / float64(f)
+			}
+			b.ReportMetric(ratio/float64(b.N), "uninformed/F")
+		})
+	}
+}
+
+// BenchmarkE7Comparison regenerates E7: the head-to-head comparison at a
+// single size.
+func BenchmarkE7Comparison(b *testing.B) {
+	const n = 20000
+	for _, algo := range harness.Algorithms() {
+		size := n
+		if algo == harness.AlgoNameDropper {
+			size = 1000
+		}
+		b.Run(string(algo), func(b *testing.B) {
+			runOnce(b, algo, size, harness.Options{Delta: 1024})
+		})
+	}
+}
+
+// BenchmarkEngineRound measures the raw cost of one simulated round in which
+// every node pushes to a random target (the substrate's hot path).
+func BenchmarkEngineRound(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			net, err := phonecall.New(phonecall.Config{N: n, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			msg := phonecall.Message{Tag: 1, Rumor: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.ExecRound(
+					func(i int) phonecall.Intent { return phonecall.PushIntent(phonecall.RandomTarget(), msg) },
+					nil, nil,
+				)
+			}
+			b.ReportMetric(float64(n), "nodes")
+		})
+	}
+}
+
+// BenchmarkBroadcastCluster2 measures the end-to-end cost of the main
+// algorithm at increasing sizes (useful for profiling the simulator itself).
+func BenchmarkBroadcastCluster2(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			runOnce(b, harness.AlgoCluster2, n, harness.Options{})
+		})
+	}
+}

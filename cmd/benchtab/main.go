@@ -1,0 +1,80 @@
+// Command benchtab regenerates the reproduction tables E1–E7 recorded in
+// EXPERIMENTS.md (one table per claim of the paper; see DESIGN.md §4).
+//
+// Example:
+//
+//	benchtab                           # all experiments, default sweep
+//	benchtab -experiment E1,E2         # selected experiments
+//	benchtab -sizes 1000,10000,100000,1000000 -seeds 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	experiments := fs.String("experiment", "all", "comma-separated experiment ids (E1..E7) or 'all'")
+	sizes := fs.String("sizes", "1000,10000,100000", "comma-separated network sizes")
+	seeds := fs.Int("seeds", 3, "number of seeds per configuration")
+	payload := fs.Int("b", 256, "rumor size in bits")
+	workers := fs.Int("workers", 1, "simulator goroutines per round")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := harness.SweepConfig{Opts: harness.Options{PayloadBits: *payload, Workers: *workers}}
+	var err error
+	cfg.Sizes, err = parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+	for s := 1; s <= *seeds; s++ {
+		cfg.Seeds = append(cfg.Seeds, uint64(s))
+	}
+
+	ids := harness.ExperimentIDs()
+	if *experiments != "all" {
+		ids = strings.Split(*experiments, ",")
+	}
+	for _, id := range ids {
+		table, err := harness.RunExperiment(strings.TrimSpace(id), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Render())
+	}
+	return nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("parse size %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return out, nil
+}

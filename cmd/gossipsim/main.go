@@ -1,0 +1,81 @@
+// Command gossipsim runs one gossip broadcast in the random phone call model
+// with direct addressing and prints its round-, message- and bit-complexity.
+//
+// Example:
+//
+//	gossipsim -algo cluster2 -n 100000 -seed 7
+//	gossipsim -algo clusterpushpull -n 100000 -delta 256
+//	gossipsim -algo push-pull -n 100000 -fail 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gossipsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
+	algo := fs.String("algo", string(repro.AlgoCluster2), "algorithm: "+strings.Join(algorithmNames(), ", "))
+	n := fs.Int("n", 100000, "number of nodes")
+	seed := fs.Uint64("seed", 1, "random seed")
+	payload := fs.Int("b", 256, "rumor size in bits")
+	delta := fs.Int("delta", 1024, "per-round communication bound (clusterpushpull only)")
+	failures := fs.Int("fail", 0, "number of nodes failed by an oblivious adversary")
+	failSeed := fs.Uint64("failseed", 42, "adversary seed")
+	workers := fs.Int("workers", 1, "simulator goroutines per round")
+	showPhases := fs.Bool("phases", true, "print the per-phase breakdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	res, err := repro.Broadcast(repro.Config{
+		N:           *n,
+		Algorithm:   repro.Algorithm(*algo),
+		Seed:        *seed,
+		PayloadBits: *payload,
+		Delta:       *delta,
+		Failures:    *failures,
+		FailureSeed: *failSeed,
+		Workers:     *workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("algorithm          %s\n", res.Algorithm)
+	fmt.Printf("nodes              %d (live %d)\n", res.N, res.Live)
+	fmt.Printf("informed           %d (all informed: %v)\n", res.Informed, res.AllInformed)
+	fmt.Printf("rounds             %d (completion at round %d)\n", res.Rounds, res.CompletionRound)
+	fmt.Printf("messages           %d payload + %d control (%.2f per node)\n", res.Messages, res.ControlMessages, res.MessagesPerNode)
+	fmt.Printf("bits               %d (%.2f per node per payload bit)\n", res.Bits, float64(res.Bits)/float64(res.N)/float64(*payload))
+	fmt.Printf("max comms/round Δ  %d\n", res.MaxCommsPerRound)
+	if *failures > 0 {
+		fmt.Printf("uninformed survivors %d (F = %d)\n", res.UninformedSurvivors(), *failures)
+	}
+	if *showPhases && len(res.Phases) > 0 {
+		fmt.Printf("\n%-28s %8s %12s %14s\n", "phase", "rounds", "messages", "bits")
+		for _, p := range res.Phases {
+			fmt.Printf("%-28s %8d %12d %14d\n", p.Name, p.Rounds, p.Messages, p.Bits)
+		}
+	}
+	return nil
+}
+
+func algorithmNames() []string {
+	names := make([]string, 0, len(repro.Algorithms()))
+	for _, a := range repro.Algorithms() {
+		names = append(names, string(a))
+	}
+	return names
+}

@@ -1,0 +1,65 @@
+// Command lowerbound explores the round-complexity lower bounds of the paper:
+// the knowledge-graph feasibility bound of Theorem 3 and the log n / log Δ
+// bound of Lemma 16.
+//
+// Example:
+//
+//	lowerbound -n 1000,100000,10000000 -seeds 5
+//	lowerbound -n 1000000 -delta 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/lowerbound"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lowerbound:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lowerbound", flag.ContinueOnError)
+	sizes := fs.String("n", "1000,10000,100000,1000000", "comma-separated network sizes")
+	seeds := fs.Int("seeds", 3, "number of random draws per size")
+	delta := fs.Int("delta", 0, "if set, also print the Lemma 16 bound for this Δ")
+	trace := fs.Bool("trace", false, "print the per-T feasibility trace for the first seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Printf("%-10s %-18s %-22s\n", "n", "0.99*log2 log2 n", "knowledge-graph min T")
+	for _, part := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("parse size %q: %w", part, err)
+		}
+		var minTs []float64
+		var firstTrace []lowerbound.Feasibility
+		for s := 1; s <= *seeds; s++ {
+			minT, tr := lowerbound.MinRounds(n, uint64(s))
+			minTs = append(minTs, float64(minT))
+			if s == 1 {
+				firstTrace = tr
+			}
+		}
+		fmt.Printf("%-10d %-18.2f %-22.1f\n", n, lowerbound.TheoreticalMinRounds(n), stats.Mean(minTs))
+		if *trace {
+			for _, f := range firstTrace {
+				fmt.Printf("    T=%d ecc=%d reach=%d possible=%v\n", f.T, f.Eccentricity, f.Reach, f.Possible)
+			}
+		}
+		if *delta > 1 {
+			fmt.Printf("    Lemma 16 with Δ=%d: %.2f rounds\n", *delta, lowerbound.DeltaBound(n, *delta))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+// Bounded communication: most gossip algorithms with direct addressing let a
+// single node answer up to n−1 requests in one round. Section 7 of the paper
+// bounds this quantity Δ: Cluster3 builds a Θ(Δ)-clustering and
+// ClusterPUSH-PULL then broadcasts in O(log n / log Δ) rounds with no node
+// answering more than O(Δ) requests. This example sweeps Δ and compares the
+// observed maximum fan-in and rounds against the Lemma 16 lower bound and
+// against Cluster2 (which does not bound Δ).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const n = 50_000
+
+	fmt.Printf("%-18s %8s %12s %14s %12s\n", "algorithm", "Δ bound", "rounds", "observed maxΔ", "lemma16")
+	for _, delta := range []int{16, 64, 256, 1024} {
+		res, err := repro.Broadcast(repro.Config{N: n, Algorithm: repro.AlgoClusterPushPull, Seed: 5, Delta: delta})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.AllInformed {
+			log.Fatalf("Δ=%d informed only %d/%d", delta, res.Informed, res.Live)
+		}
+		fmt.Printf("%-18s %8d %12d %14d %12.1f\n",
+			"clusterpushpull", delta, res.Rounds, res.MaxCommsPerRound, repro.DeltaLowerBound(n, delta))
+	}
+
+	unbounded, err := repro.Broadcast(repro.Config{N: n, Algorithm: repro.AlgoCluster2, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-18s %8s %12d %14d %12s\n", "cluster2", "none", unbounded.Rounds, unbounded.MaxCommsPerRound, "-")
+
+	fmt.Println("\nSmaller Δ keeps every node's per-round load low at the price of more rounds;")
+	fmt.Println("the rounds stay above the log n / log Δ bound of Lemma 16, and the unbounded")
+	fmt.Println("Cluster2 run shows why the bound matters: its final phases concentrate n-1")
+	fmt.Println("requests on the single cluster leader.")
+}

@@ -1,0 +1,67 @@
+// Package baseline implements the prior-work gossip algorithms the paper
+// compares against: the classical uniform PUSH, PULL and PUSH-PULL protocols
+// [Pittel 1987], the median-counter algorithm of Karp, Schindelhauer, Shenker
+// and Vöcking [FOCS 2000], a direct-addressing address-book gossip standing
+// in for Avin–Elsässer [DISC 2013], and the Name-Dropper resource-discovery
+// protocol of Harchol-Balter, Leighton and Lewin [PODC 1999].
+//
+// All algorithms run on the same phone-call substrate as the paper's
+// algorithms, so their round-, message- and bit-complexities are directly
+// comparable.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/phonecall"
+)
+
+// ErrNoSource is returned when a broadcast is started without a live source.
+var ErrNoSource = errors.New("baseline: broadcast needs at least one live source node")
+
+// rumorState tracks which nodes hold the rumor.
+type rumorState struct {
+	net      *phonecall.Network
+	informed []bool
+	count    int
+}
+
+func newRumorState(net *phonecall.Network, sources []int) (*rumorState, error) {
+	st := &rumorState{net: net, informed: make([]bool, net.N())}
+	live := 0
+	for _, s := range sources {
+		if s < 0 || s >= net.N() {
+			return nil, fmt.Errorf("baseline: source index %d out of range [0,%d)", s, net.N())
+		}
+		if !net.IsFailed(s) {
+			live++
+		}
+		st.mark(s)
+	}
+	if live == 0 {
+		return nil, ErrNoSource
+	}
+	return st, nil
+}
+
+func (s *rumorState) mark(i int) {
+	if !s.informed[i] {
+		s.informed[i] = true
+		if !s.net.IsFailed(i) {
+			s.count++
+		}
+	}
+}
+
+func (s *rumorState) has(i int) bool { return s.informed[i] }
+
+// liveInformed returns the number of live informed nodes.
+func (s *rumorState) liveInformed() int { return s.count }
+
+func (s *rumorState) allInformed() bool { return s.count >= s.net.LiveCount() }
+
+// maxUniformRounds caps the self-terminating baselines at a small multiple of
+// log n.
+func maxUniformRounds(n int) int { return int(4*math.Log2(float64(n))) + 30 }

@@ -1,0 +1,676 @@
+// Package cluster implements the clustering abstraction of Section 3 of
+// Haeupler & Malkhi, "Optimal Gossip with Direct Addressing" (PODC 2014).
+//
+// A clustering partitions the nodes into disjoint clusters, each with a
+// leader known to every member, plus a set of unclustered nodes. It is
+// represented exactly as in the paper: every node holds a follow variable
+// containing its leader's ID (its own ID if it is the leader, NoNode if it is
+// unclustered). All coordination happens through the cluster primitives of
+// Section 3.2, each of which costs a constant number of synchronous rounds in
+// the random phone call model and is address-oblivious.
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/phonecall"
+)
+
+// Message tags used by the cluster primitives.
+const (
+	TagRedirect   uint8 = iota + 1 // responder is not a leader; IDs[0] is its follow value
+	TagActivate                    // Value is the activation bit
+	TagSizeReport                  // follower reports membership to its leader
+	TagSizeValue                   // Value is the cluster size
+	TagNewFollow                   // IDs[0] is the new follow value (Value==0 dissolves)
+	TagNewLeaders                  // IDs lists the new leaders after a resize
+	TagRecruit                     // IDs[0] is the pushing cluster's ID
+	TagRelay                       // IDs[0] is a relayed candidate cluster ID
+	TagFollowIs                    // IDs[0] is the responder's follow value
+	TagRumor                       // message carries the rumor
+)
+
+// Clustering is the per-node clustering state plus the coordination
+// primitives. All exported methods that exchange information run one or more
+// rounds on the underlying network and charge messages accordingly; methods
+// documented as "local" inspect simulator state without communication and are
+// used only by drivers, tests and metrics.
+type Clustering struct {
+	net *phonecall.Network
+
+	follow   []phonecall.NodeID
+	active   []bool
+	size     []int
+	prevSize []int
+	rumor    []bool
+
+	// recruit state: candidate cluster IDs received via random pushes,
+	// relayed to leaders for merge decisions.
+	pending    []phonecall.NodeID
+	candidates [][]phonecall.NodeID
+}
+
+// New returns an empty clustering (every node unclustered) over net.
+func New(net *phonecall.Network) *Clustering {
+	n := net.N()
+	return &Clustering{
+		net:        net,
+		follow:     make([]phonecall.NodeID, n),
+		active:     make([]bool, n),
+		size:       make([]int, n),
+		prevSize:   make([]int, n),
+		rumor:      make([]bool, n),
+		pending:    make([]phonecall.NodeID, n),
+		candidates: make([][]phonecall.NodeID, n),
+	}
+}
+
+// Network returns the underlying phone call network.
+func (c *Clustering) Network() *phonecall.Network { return c.net }
+
+// Follow returns node i's follow variable (local).
+func (c *Clustering) Follow(i int) phonecall.NodeID { return c.follow[i] }
+
+// SetFollow sets node i's follow variable (local; used by drivers to seed the
+// source node's own cluster in degenerate cases and by tests).
+func (c *Clustering) SetFollow(i int, id phonecall.NodeID) { c.follow[i] = id }
+
+// IsClustered reports whether node i belongs to a cluster (local).
+func (c *Clustering) IsClustered(i int) bool { return c.follow[i] != phonecall.NoNode }
+
+// IsLeader reports whether node i is a cluster leader (local).
+func (c *Clustering) IsLeader(i int) bool { return c.follow[i] == c.net.ID(i) }
+
+// IsActive reports whether node i believes its cluster is activated (local).
+func (c *Clustering) IsActive(i int) bool { return c.active[i] }
+
+// SetActive sets node i's cached activation bit (local; used when a node
+// joins a cluster it knows to be active, e.g. because that cluster just
+// pushed to it).
+func (c *Clustering) SetActive(i int, v bool) { c.active[i] = v }
+
+// Size returns node i's last learned cluster size (local).
+func (c *Clustering) Size(i int) int { return c.size[i] }
+
+// PrevSize returns node i's previously learned cluster size (local).
+func (c *Clustering) PrevSize(i int) int { return c.prevSize[i] }
+
+// HasRumor reports whether node i holds the rumor (local).
+func (c *Clustering) HasRumor(i int) bool { return c.rumor[i] }
+
+// SetRumor marks node i as holding the rumor (local; used to place the
+// initial rumor at the source).
+func (c *Clustering) SetRumor(i int) { c.rumor[i] = true }
+
+// InformedCount returns the number of live nodes holding the rumor (local).
+func (c *Clustering) InformedCount() int {
+	count := 0
+	for i, r := range c.rumor {
+		if r && !c.net.IsFailed(i) {
+			count++
+		}
+	}
+	return count
+}
+
+// ClusteredCount returns the number of live clustered nodes (local).
+func (c *Clustering) ClusteredCount() int {
+	count := 0
+	for i := range c.follow {
+		if c.follow[i] != phonecall.NoNode && !c.net.IsFailed(i) {
+			count++
+		}
+	}
+	return count
+}
+
+// LeaderCount returns the number of live cluster leaders (local).
+func (c *Clustering) LeaderCount() int {
+	count := 0
+	for i := range c.follow {
+		if c.IsLeader(i) && !c.net.IsFailed(i) {
+			count++
+		}
+	}
+	return count
+}
+
+// ClusterSizes returns the size of every cluster keyed by leader ID, counting
+// only live nodes and following each node's direct follow pointer (local).
+func (c *Clustering) ClusterSizes() map[phonecall.NodeID]int {
+	sizes := make(map[phonecall.NodeID]int)
+	for i := range c.follow {
+		if c.net.IsFailed(i) || c.follow[i] == phonecall.NoNode {
+			continue
+		}
+		sizes[c.follow[i]]++
+	}
+	return sizes
+}
+
+// LargestClusterFraction returns the fraction of live nodes contained in the
+// largest cluster (local).
+func (c *Clustering) LargestClusterFraction() float64 {
+	live := c.net.LiveCount()
+	if live == 0 {
+		return 0
+	}
+	largest := 0
+	for _, s := range c.ClusterSizes() {
+		if s > largest {
+			largest = s
+		}
+	}
+	return float64(largest) / float64(live)
+}
+
+// SeedSingletons makes every live node a singleton cluster leader
+// independently with probability p (line 7 of Algorithm 1, line 8 of
+// Algorithm 2). This is a purely local coin flip and costs no rounds.
+func (c *Clustering) SeedSingletons(p float64) int {
+	leaders := 0
+	for i := 0; i < c.net.N(); i++ {
+		if c.net.IsFailed(i) {
+			continue
+		}
+		if c.net.NodeRNG(i).Bernoulli(p) {
+			c.follow[i] = c.net.ID(i)
+			c.active[i] = true
+			c.size[i] = 1
+			c.prevSize[i] = 1
+			leaders++
+		} else {
+			c.follow[i] = phonecall.NoNode
+			c.active[i] = false
+		}
+	}
+	return leaders
+}
+
+// leaderPull runs one round in which every clustered non-leader node that
+// satisfies participate pulls from its leader. Leaders respond with
+// respond(leader); a contacted node that is not (or no longer) a leader
+// responds with a redirect carrying its own follow value, which the puller
+// adopts (lazy path compression). apply is invoked for every puller that
+// received a non-redirect response.
+func (c *Clustering) leaderPull(
+	participate func(i int) bool,
+	respond func(leader int) phonecall.Message,
+	apply func(i int, m phonecall.Message),
+) {
+	c.net.ExecRound(
+		func(i int) phonecall.Intent {
+			if !c.IsClustered(i) || c.IsLeader(i) {
+				return phonecall.Silent()
+			}
+			if participate != nil && !participate(i) {
+				return phonecall.Silent()
+			}
+			return phonecall.PullIntent(phonecall.DirectTarget(c.follow[i]))
+		},
+		func(j int) (phonecall.Message, bool) {
+			if c.IsLeader(j) {
+				return respond(j), true
+			}
+			return phonecall.Message{Tag: TagRedirect, IDs: []phonecall.NodeID{c.follow[j]}}, true
+		},
+		func(i int, inbox []phonecall.Message) {
+			for _, m := range inbox {
+				if m.Tag == TagRedirect {
+					if len(m.IDs) == 1 && m.IDs[0] != phonecall.NoNode {
+						c.follow[i] = m.IDs[0]
+					}
+					continue
+				}
+				if apply != nil {
+					apply(i, m)
+				}
+			}
+		},
+	)
+}
+
+// Activate implements ClusterActivate(p): every cluster is independently
+// activated with probability p; followers learn the outcome by pulling a
+// coin from their leader. Costs one round.
+func (c *Clustering) Activate(p float64) {
+	for i := 0; i < c.net.N(); i++ {
+		if c.IsLeader(i) && !c.net.IsFailed(i) {
+			c.active[i] = c.net.NodeRNG(i).Bernoulli(p)
+		}
+	}
+	c.broadcastActivation()
+}
+
+// SetActivation lets every leader decide its cluster's activation and
+// broadcasts the decision to the followers. Costs one round.
+func (c *Clustering) SetActivation(decide func(leader int) bool) {
+	for i := 0; i < c.net.N(); i++ {
+		if c.IsLeader(i) && !c.net.IsFailed(i) {
+			c.active[i] = decide(i)
+		}
+	}
+	c.broadcastActivation()
+}
+
+func (c *Clustering) broadcastActivation() {
+	c.leaderPull(nil,
+		func(leader int) phonecall.Message {
+			v := uint64(0)
+			if c.active[leader] {
+				v = 1
+			}
+			return phonecall.Message{Tag: TagActivate, Value: v}
+		},
+		func(i int, m phonecall.Message) {
+			c.active[i] = m.Value == 1
+		},
+	)
+}
+
+// MeasureSizes implements ClusterSize: followers report to their leader, the
+// leader counts, and followers pull the count back. Costs two rounds. The
+// learned size is available via Size; the previously learned size moves to
+// PrevSize.
+func (c *Clustering) MeasureSizes() {
+	counts := c.collectMemberCounts()
+	for i := 0; i < c.net.N(); i++ {
+		if c.IsLeader(i) && !c.net.IsFailed(i) {
+			c.prevSize[i] = c.size[i]
+			c.size[i] = counts[i]
+		}
+	}
+	c.leaderPull(nil,
+		func(leader int) phonecall.Message {
+			return phonecall.Message{Tag: TagSizeValue, Value: uint64(c.size[leader])}
+		},
+		func(i int, m phonecall.Message) {
+			c.prevSize[i] = c.size[i]
+			c.size[i] = int(m.Value)
+		},
+	)
+}
+
+// collectMemberCounts runs the follower-report round and returns, per leader
+// index, the number of members (including the leader itself).
+func (c *Clustering) collectMemberCounts() []int {
+	counts := make([]int, c.net.N())
+	c.net.ExecRound(
+		func(i int) phonecall.Intent {
+			if !c.IsClustered(i) || c.IsLeader(i) {
+				return phonecall.Silent()
+			}
+			return phonecall.PushIntent(phonecall.DirectTarget(c.follow[i]), phonecall.Message{Tag: TagSizeReport})
+		},
+		nil,
+		func(j int, inbox []phonecall.Message) {
+			if !c.IsLeader(j) {
+				return
+			}
+			for _, m := range inbox {
+				if m.Tag == TagSizeReport {
+					counts[j]++
+				}
+			}
+		},
+	)
+	for i := 0; i < c.net.N(); i++ {
+		if c.IsLeader(i) && !c.net.IsFailed(i) {
+			counts[i]++ // the leader itself
+		}
+	}
+	return counts
+}
+
+// Dissolve implements ClusterDissolve(s): clusters smaller than minSize are
+// dissolved (all members, including the leader, become unclustered). Costs
+// two rounds.
+func (c *Clustering) Dissolve(minSize int) {
+	counts := c.collectMemberCounts()
+	keep := make([]bool, c.net.N())
+	for i := 0; i < c.net.N(); i++ {
+		if c.IsLeader(i) && !c.net.IsFailed(i) {
+			keep[i] = counts[i] >= minSize
+		}
+	}
+	c.leaderPull(nil,
+		func(leader int) phonecall.Message {
+			if keep[leader] {
+				return phonecall.Message{Tag: TagNewFollow, Value: 1, IDs: []phonecall.NodeID{c.net.ID(leader)}}
+			}
+			return phonecall.Message{Tag: TagNewFollow, Value: 0}
+		},
+		func(i int, m phonecall.Message) {
+			if m.Value == 1 && len(m.IDs) == 1 {
+				c.follow[i] = m.IDs[0]
+			} else {
+				c.follow[i] = phonecall.NoNode
+				c.active[i] = false
+			}
+		},
+	)
+	for i := 0; i < c.net.N(); i++ {
+		if c.net.IsFailed(i) {
+			continue
+		}
+		if c.IsLeader(i) && !keep[i] {
+			c.follow[i] = phonecall.NoNode
+			c.active[i] = false
+		}
+	}
+}
+
+// Resize implements ClusterResize(s): every cluster of size s' re-clusters
+// itself into ⌊s'/s⌋ groups of (almost) equal size; within each group the
+// largest ID becomes the new leader. Costs two rounds. After a resize every
+// cluster has size at most 2s−1.
+func (c *Clustering) Resize(target int) {
+	if target < 1 {
+		target = 1
+	}
+	n := c.net.N()
+	members := make([][]phonecall.NodeID, n)
+	c.net.ExecRound(
+		func(i int) phonecall.Intent {
+			if !c.IsClustered(i) || c.IsLeader(i) {
+				return phonecall.Silent()
+			}
+			return phonecall.PushIntent(phonecall.DirectTarget(c.follow[i]), phonecall.Message{Tag: TagSizeReport})
+		},
+		nil,
+		func(j int, inbox []phonecall.Message) {
+			if !c.IsLeader(j) {
+				return
+			}
+			for _, m := range inbox {
+				if m.Tag == TagSizeReport {
+					members[j] = append(members[j], m.From)
+				}
+			}
+		},
+	)
+
+	newLeaders := make([][]phonecall.NodeID, n)
+	for j := 0; j < n; j++ {
+		if !c.IsLeader(j) || c.net.IsFailed(j) {
+			continue
+		}
+		ids := append(members[j], c.net.ID(j))
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		groups := len(ids) / target
+		if groups < 1 {
+			groups = 1
+		}
+		leaders := make([]phonecall.NodeID, 0, groups)
+		per := len(ids) / groups
+		extra := len(ids) % groups
+		idx := 0
+		for g := 0; g < groups; g++ {
+			size := per
+			if g < extra {
+				size++
+			}
+			idx += size
+			leaders = append(leaders, ids[idx-1]) // largest ID in the group
+		}
+		newLeaders[j] = leaders
+	}
+
+	assign := func(own phonecall.NodeID, leaders []phonecall.NodeID) phonecall.NodeID {
+		for _, l := range leaders {
+			if l >= own {
+				return l
+			}
+		}
+		if len(leaders) > 0 {
+			return leaders[len(leaders)-1]
+		}
+		return own
+	}
+
+	c.leaderPull(nil,
+		func(leader int) phonecall.Message {
+			return phonecall.Message{Tag: TagNewLeaders, IDs: newLeaders[leader]}
+		},
+		func(i int, m phonecall.Message) {
+			if len(m.IDs) == 0 {
+				return
+			}
+			c.follow[i] = assign(c.net.ID(i), m.IDs)
+			c.size[i] = target
+			c.prevSize[i] = target
+		},
+	)
+	for j := 0; j < n; j++ {
+		if c.net.IsFailed(j) || newLeaders[j] == nil {
+			continue
+		}
+		if c.IsLeader(j) {
+			c.follow[j] = assign(c.net.ID(j), newLeaders[j])
+			c.size[j] = target
+			c.prevSize[j] = target
+		}
+	}
+}
+
+// RandomPush implements ClusterPUSH: every clustered node for which
+// participate returns true pushes payload(i) to a uniformly random node;
+// receive is invoked at every live node that received at least one push.
+// Costs one round.
+func (c *Clustering) RandomPush(
+	participate func(i int) bool,
+	payload func(i int) phonecall.Message,
+	receive func(i int, m phonecall.Message),
+) {
+	c.net.ExecRound(
+		func(i int) phonecall.Intent {
+			if !c.IsClustered(i) || (participate != nil && !participate(i)) {
+				return phonecall.Silent()
+			}
+			return phonecall.PushIntent(phonecall.RandomTarget(), payload(i))
+		},
+		nil,
+		func(j int, inbox []phonecall.Message) {
+			if receive == nil {
+				return
+			}
+			for _, m := range inbox {
+				receive(j, m)
+			}
+		},
+	)
+}
+
+// SetPending records a candidate cluster ID at node i, to be relayed to the
+// node's leader by RelayCandidates (local). Callers decide the tie-breaking
+// policy (for example "smallest received" for Cluster1 or "first received"
+// for Cluster2) before calling SetPending.
+func (c *Clustering) SetPending(i int, id phonecall.NodeID) { c.pending[i] = id }
+
+// Pending returns node i's currently pending candidate cluster ID (local).
+func (c *Clustering) Pending(i int) phonecall.NodeID { return c.pending[i] }
+
+// RelayCandidates implements the "relay received messages to the cluster
+// leader" step of ClusterPUSH: every node holding a pending candidate pushes
+// it to its leader; leaders accumulate the candidates. Costs one round.
+func (c *Clustering) RelayCandidates() {
+	c.net.ExecRound(
+		func(i int) phonecall.Intent {
+			if c.pending[i] == phonecall.NoNode || !c.IsClustered(i) {
+				return phonecall.Silent()
+			}
+			if c.IsLeader(i) {
+				return phonecall.Silent() // the leader keeps its own candidate locally
+			}
+			return phonecall.PushIntent(
+				phonecall.DirectTarget(c.follow[i]),
+				phonecall.Message{Tag: TagRelay, IDs: []phonecall.NodeID{c.pending[i]}},
+			)
+		},
+		nil,
+		func(j int, inbox []phonecall.Message) {
+			if !c.IsLeader(j) {
+				return
+			}
+			for _, m := range inbox {
+				if m.Tag == TagRelay && len(m.IDs) == 1 {
+					c.candidates[j] = append(c.candidates[j], m.IDs[0])
+				}
+			}
+		},
+	)
+	for i := 0; i < c.net.N(); i++ {
+		if c.net.IsFailed(i) {
+			continue
+		}
+		if c.IsLeader(i) && c.pending[i] != phonecall.NoNode {
+			c.candidates[i] = append(c.candidates[i], c.pending[i])
+		}
+		c.pending[i] = phonecall.NoNode
+	}
+}
+
+// Candidates returns the candidate cluster IDs relayed to leader i (local).
+func (c *Clustering) Candidates(i int) []phonecall.NodeID { return c.candidates[i] }
+
+// ClearCandidates drops all relayed candidates (local).
+func (c *Clustering) ClearCandidates() {
+	for i := range c.candidates {
+		c.candidates[i] = c.candidates[i][:0]
+	}
+}
+
+// Merge implements ClusterMerge: every leader for which decide returns a new
+// leader ID merges its cluster into that cluster; followers learn the new
+// leader by pulling from their current leader. Costs one round. Members of a
+// merged cluster are deactivated; activation is re-established by the next
+// Activate or SetActivation call.
+func (c *Clustering) Merge(decide func(leader int) (phonecall.NodeID, bool)) {
+	target := make([]phonecall.NodeID, c.net.N())
+	for i := 0; i < c.net.N(); i++ {
+		if !c.IsLeader(i) || c.net.IsFailed(i) {
+			continue
+		}
+		if id, ok := decide(i); ok && id != phonecall.NoNode && id != c.net.ID(i) {
+			target[i] = id
+		} else {
+			target[i] = c.net.ID(i)
+		}
+	}
+	c.leaderPull(nil,
+		func(leader int) phonecall.Message {
+			return phonecall.Message{Tag: TagNewFollow, Value: 1, IDs: []phonecall.NodeID{target[leader]}}
+		},
+		func(i int, m phonecall.Message) {
+			if m.Value == 1 && len(m.IDs) == 1 {
+				if m.IDs[0] != c.follow[i] {
+					c.active[i] = false
+				}
+				c.follow[i] = m.IDs[0]
+			}
+		},
+	)
+	for i := 0; i < c.net.N(); i++ {
+		if c.net.IsFailed(i) || target[i] == phonecall.NoNode {
+			continue
+		}
+		if target[i] != c.net.ID(i) && c.follow[i] == c.net.ID(i) {
+			c.follow[i] = target[i]
+			c.active[i] = false
+		}
+	}
+}
+
+// Compress runs the given number of pointer-jumping rounds: every clustered
+// non-leader pulls its leader's follow value and adopts it. After merges the
+// follow graph can have depth two; one or two compress rounds restore the
+// depth-one invariant.
+func (c *Clustering) Compress(rounds int) {
+	for r := 0; r < rounds; r++ {
+		c.leaderPull(nil,
+			func(leader int) phonecall.Message {
+				return phonecall.Message{Tag: TagFollowIs, IDs: []phonecall.NodeID{c.follow[leader]}}
+			},
+			func(i int, m phonecall.Message) {
+				if len(m.IDs) == 1 && m.IDs[0] != phonecall.NoNode {
+					c.follow[i] = m.IDs[0]
+				}
+			},
+		)
+	}
+}
+
+// PullJoin implements UnclusteredNodesPull: for up to maxRounds rounds every
+// unclustered node pulls from a uniformly random node and joins the
+// responder's cluster if the responder is clustered. It stops early when no
+// unclustered live node remains and returns the number of rounds used.
+func (c *Clustering) PullJoin(maxRounds int) int {
+	rounds := 0
+	for ; rounds < maxRounds; rounds++ {
+		if c.ClusteredCount() == c.net.LiveCount() {
+			break
+		}
+		c.net.ExecRound(
+			func(i int) phonecall.Intent {
+				if c.IsClustered(i) {
+					return phonecall.Silent()
+				}
+				return phonecall.PullIntent(phonecall.RandomTarget())
+			},
+			func(j int) (phonecall.Message, bool) {
+				if !c.IsClustered(j) {
+					return phonecall.Message{}, false
+				}
+				return phonecall.Message{Tag: TagFollowIs, IDs: []phonecall.NodeID{c.follow[j]}}, true
+			},
+			func(i int, inbox []phonecall.Message) {
+				if c.IsClustered(i) {
+					return
+				}
+				for _, m := range inbox {
+					if m.Tag == TagFollowIs && len(m.IDs) == 1 && m.IDs[0] != phonecall.NoNode {
+						c.follow[i] = m.IDs[0]
+						c.active[i] = false
+						return
+					}
+				}
+			},
+		)
+	}
+	return rounds
+}
+
+// ShareRumor implements ClusterShare(message) for the broadcast task: nodes
+// holding the rumor relay it to their leader, then every cluster member pulls
+// it from the leader. Costs two rounds.
+func (c *Clustering) ShareRumor() {
+	c.net.ExecRound(
+		func(i int) phonecall.Intent {
+			if !c.rumor[i] || !c.IsClustered(i) || c.IsLeader(i) {
+				return phonecall.Silent()
+			}
+			return phonecall.PushIntent(phonecall.DirectTarget(c.follow[i]), phonecall.Message{Tag: TagRumor, Rumor: true})
+		},
+		nil,
+		func(j int, inbox []phonecall.Message) {
+			for _, m := range inbox {
+				if m.Tag == TagRumor && m.Rumor {
+					c.rumor[j] = true
+				}
+			}
+		},
+	)
+	c.leaderPull(nil,
+		func(leader int) phonecall.Message {
+			if c.rumor[leader] {
+				return phonecall.Message{Tag: TagRumor, Rumor: true}
+			}
+			return phonecall.Message{Tag: TagRumor}
+		},
+		func(i int, m phonecall.Message) {
+			if m.Rumor {
+				c.rumor[i] = true
+			}
+		},
+	)
+}

@@ -1,0 +1,407 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/phonecall"
+)
+
+func newNet(t testing.TB, n int, seed uint64) *phonecall.Network {
+	t.Helper()
+	net, err := phonecall.New(phonecall.Config{N: n, Seed: seed})
+	if err != nil {
+		t.Fatalf("phonecall.New: %v", err)
+	}
+	return net
+}
+
+// checkInvariant verifies the clustering invariant: every clustered node
+// either is a leader or follows a node that is a leader (depth-one follow
+// graph), and every node's size bookkeeping is non-negative.
+func checkInvariant(t *testing.T, c *Clustering, allowStale bool) {
+	t.Helper()
+	net := c.Network()
+	for i := 0; i < net.N(); i++ {
+		if net.IsFailed(i) || !c.IsClustered(i) {
+			continue
+		}
+		leaderIdx, ok := net.IndexOf(c.Follow(i))
+		if !ok {
+			t.Fatalf("node %d follows unknown ID %d", i, c.Follow(i))
+		}
+		if !allowStale && !c.IsLeader(leaderIdx) {
+			t.Fatalf("node %d follows %d which is not a leader", i, leaderIdx)
+		}
+	}
+}
+
+func seedEvenClusters(t *testing.T, net *phonecall.Network, clusterSize int) *Clustering {
+	t.Helper()
+	c := New(net)
+	// Deterministically partition nodes into consecutive groups; the largest
+	// ID in each group is the leader (mirrors what Resize produces).
+	n := net.N()
+	for start := 0; start < n; start += clusterSize {
+		end := start + clusterSize
+		if end > n {
+			end = n
+		}
+		leader := start
+		for i := start; i < end; i++ {
+			if net.ID(i) > net.ID(leader) {
+				leader = i
+			}
+		}
+		for i := start; i < end; i++ {
+			c.SetFollow(i, net.ID(leader))
+		}
+	}
+	checkInvariant(t, c, false)
+	return c
+}
+
+func TestSeedSingletons(t *testing.T) {
+	net := newNet(t, 10000, 1)
+	c := New(net)
+	leaders := c.SeedSingletons(0.1)
+	if leaders < 800 || leaders > 1200 {
+		t.Fatalf("seeded %d leaders, want about 1000", leaders)
+	}
+	if c.ClusteredCount() != leaders || c.LeaderCount() != leaders {
+		t.Fatalf("clustered=%d leaders=%d, want both %d", c.ClusteredCount(), c.LeaderCount(), leaders)
+	}
+	checkInvariant(t, c, false)
+	if c.SeedSingletons(0) != 0 {
+		t.Fatal("probability 0 should seed nothing")
+	}
+}
+
+func TestMeasureSizes(t *testing.T) {
+	net := newNet(t, 1000, 2)
+	c := seedEvenClusters(t, net, 10)
+	c.MeasureSizes()
+	for i := 0; i < net.N(); i++ {
+		if got := c.Size(i); got != 10 {
+			t.Fatalf("node %d learned size %d, want 10", i, got)
+		}
+	}
+}
+
+func TestActivateProbabilityExtremes(t *testing.T) {
+	net := newNet(t, 2000, 3)
+	c := seedEvenClusters(t, net, 20)
+	c.Activate(1)
+	for i := 0; i < net.N(); i++ {
+		if !c.IsActive(i) {
+			t.Fatalf("node %d inactive after Activate(1)", i)
+		}
+	}
+	c.Activate(0)
+	for i := 0; i < net.N(); i++ {
+		if c.IsActive(i) {
+			t.Fatalf("node %d active after Activate(0)", i)
+		}
+	}
+}
+
+func TestActivateFraction(t *testing.T) {
+	net := newNet(t, 20000, 4)
+	c := seedEvenClusters(t, net, 10) // 2000 clusters
+	c.Activate(0.25)
+	activeLeaders := 0
+	for i := 0; i < net.N(); i++ {
+		if c.IsLeader(i) && c.IsActive(i) {
+			activeLeaders++
+		}
+	}
+	if activeLeaders < 350 || activeLeaders > 650 {
+		t.Fatalf("activated %d of 2000 clusters, want about 500", activeLeaders)
+	}
+	// Followers must agree with their leader.
+	for i := 0; i < net.N(); i++ {
+		leaderIdx, _ := net.IndexOf(c.Follow(i))
+		if c.IsActive(i) != c.IsActive(leaderIdx) {
+			t.Fatalf("node %d activation disagrees with its leader", i)
+		}
+	}
+}
+
+func TestDissolve(t *testing.T) {
+	net := newNet(t, 1000, 5)
+	c := New(net)
+	// Clusters of size 5 (indexes 0..499) and size 25 (indexes 500..999).
+	for start := 0; start < 500; start += 5 {
+		leader := net.ID(start)
+		for i := start; i < start+5; i++ {
+			if net.ID(i) > leader {
+				leader = net.ID(i)
+			}
+		}
+		for i := start; i < start+5; i++ {
+			c.SetFollow(i, leader)
+		}
+	}
+	for start := 500; start < 1000; start += 25 {
+		leader := net.ID(start)
+		for i := start; i < start+25; i++ {
+			if net.ID(i) > leader {
+				leader = net.ID(i)
+			}
+		}
+		for i := start; i < start+25; i++ {
+			c.SetFollow(i, leader)
+		}
+	}
+	c.Dissolve(10)
+	for i := 0; i < 500; i++ {
+		if c.IsClustered(i) {
+			t.Fatalf("node %d of a size-5 cluster should have been dissolved", i)
+		}
+	}
+	for i := 500; i < 1000; i++ {
+		if !c.IsClustered(i) {
+			t.Fatalf("node %d of a size-25 cluster should have survived", i)
+		}
+	}
+	checkInvariant(t, c, false)
+}
+
+func TestResizeCapsClusterSizes(t *testing.T) {
+	net := newNet(t, 1000, 6)
+	c := seedEvenClusters(t, net, 200) // five clusters of 200
+	c.Resize(30)
+	sizes := c.ClusterSizes()
+	if len(sizes) < 25 {
+		t.Fatalf("resize produced only %d clusters", len(sizes))
+	}
+	for leader, size := range sizes {
+		if size >= 2*30 {
+			t.Fatalf("cluster %d has size %d, want < 2s = 60", leader, size)
+		}
+		if size < 10 {
+			t.Fatalf("cluster %d has size %d, suspiciously small", leader, size)
+		}
+	}
+	if c.ClusteredCount() != 1000 {
+		t.Fatalf("resize must keep every node clustered, got %d", c.ClusteredCount())
+	}
+	checkInvariant(t, c, false)
+}
+
+func TestResizeProperty(t *testing.T) {
+	// Property: for any cluster size and any resize target, after Resize every
+	// cluster has size < 2*target and no node becomes unclustered.
+	f := func(seed uint64, sizeSel, targetSel uint8) bool {
+		n := 600
+		clusterSize := int(sizeSel)%120 + 2
+		target := int(targetSel)%40 + 2
+		net, err := phonecall.New(phonecall.Config{N: n, Seed: seed})
+		if err != nil {
+			return false
+		}
+		c := New(net)
+		for start := 0; start < n; start += clusterSize {
+			end := start + clusterSize
+			if end > n {
+				end = n
+			}
+			leader := start
+			for i := start; i < end; i++ {
+				if net.ID(i) > net.ID(leader) {
+					leader = i
+				}
+			}
+			for i := start; i < end; i++ {
+				c.SetFollow(i, net.ID(leader))
+			}
+		}
+		c.Resize(target)
+		if c.ClusteredCount() != n {
+			return false
+		}
+		for _, size := range c.ClusterSizes() {
+			if size >= 2*target {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeAndCompress(t *testing.T) {
+	net := newNet(t, 300, 7)
+	c := seedEvenClusters(t, net, 30)
+	// Merge every cluster into the cluster with the globally smallest leader ID.
+	smallest := phonecall.NoNode
+	for _, id := range leaderIDs(c) {
+		if smallest == phonecall.NoNode || id < smallest {
+			smallest = id
+		}
+	}
+	c.Merge(func(leader int) (phonecall.NodeID, bool) {
+		if net.ID(leader) == smallest {
+			return phonecall.NoNode, false
+		}
+		return smallest, true
+	})
+	c.Compress(2)
+	checkInvariant(t, c, false)
+	if got := c.LeaderCount(); got != 1 {
+		t.Fatalf("after merging all into one, leader count = %d", got)
+	}
+	if frac := c.LargestClusterFraction(); frac != 1 {
+		t.Fatalf("largest cluster fraction = %v, want 1", frac)
+	}
+}
+
+func leaderIDs(c *Clustering) []phonecall.NodeID {
+	var ids []phonecall.NodeID
+	net := c.Network()
+	for i := 0; i < net.N(); i++ {
+		if c.IsLeader(i) {
+			ids = append(ids, net.ID(i))
+		}
+	}
+	return ids
+}
+
+func TestRandomPushAndRelay(t *testing.T) {
+	net := newNet(t, 2000, 8)
+	c := seedEvenClusters(t, net, 20)
+	c.Activate(1)
+	received := 0
+	c.RandomPush(
+		nil,
+		func(i int) phonecall.Message {
+			return phonecall.Message{Tag: TagRecruit, IDs: []phonecall.NodeID{c.Follow(i)}}
+		},
+		func(j int, m phonecall.Message) {
+			if m.Tag == TagRecruit {
+				received++
+				c.SetPending(j, m.IDs[0])
+			}
+		},
+	)
+	if received < 1000 {
+		t.Fatalf("only %d recruit messages received out of 2000 pushes", received)
+	}
+	c.RelayCandidates()
+	withCandidates := 0
+	for i := 0; i < net.N(); i++ {
+		if c.IsLeader(i) && len(c.Candidates(i)) > 0 {
+			withCandidates++
+		}
+	}
+	if withCandidates < 50 {
+		t.Fatalf("only %d leaders collected candidates", withCandidates)
+	}
+	c.ClearCandidates()
+	for i := 0; i < net.N(); i++ {
+		if len(c.Candidates(i)) != 0 {
+			t.Fatal("ClearCandidates left candidates behind")
+		}
+	}
+}
+
+func TestPullJoinClustersEveryone(t *testing.T) {
+	net := newNet(t, 5000, 9)
+	c := New(net)
+	// Cluster 60% of the nodes, leave the rest unclustered.
+	for start := 0; start < 3000; start += 30 {
+		leader := start
+		for i := start; i < start+30; i++ {
+			if net.ID(i) > net.ID(leader) {
+				leader = i
+			}
+		}
+		for i := start; i < start+30; i++ {
+			c.SetFollow(i, net.ID(leader))
+		}
+	}
+	rounds := c.PullJoin(20)
+	if c.ClusteredCount() != 5000 {
+		t.Fatalf("PullJoin left %d nodes unclustered", 5000-c.ClusteredCount())
+	}
+	if rounds > 10 {
+		t.Fatalf("PullJoin used %d rounds, expected a handful (log log n behaviour)", rounds)
+	}
+	checkInvariant(t, c, false)
+}
+
+func TestShareRumor(t *testing.T) {
+	net := newNet(t, 400, 10)
+	c := seedEvenClusters(t, net, 400) // one big cluster
+	c.SetRumor(3)
+	if c.InformedCount() != 1 {
+		t.Fatalf("informed = %d, want 1", c.InformedCount())
+	}
+	c.ShareRumor()
+	if c.InformedCount() != 400 {
+		t.Fatalf("informed = %d after ShareRumor, want 400", c.InformedCount())
+	}
+	if !c.HasRumor(0) || !c.HasRumor(399) {
+		t.Fatal("rumor flags not set")
+	}
+}
+
+func TestShareRumorOnlyReachesOwnCluster(t *testing.T) {
+	net := newNet(t, 200, 11)
+	c := seedEvenClusters(t, net, 100) // two clusters
+	c.SetRumor(0)
+	c.ShareRumor()
+	informed := c.InformedCount()
+	if informed != 100 {
+		t.Fatalf("informed = %d, want exactly the source's cluster (100)", informed)
+	}
+}
+
+func TestFailedNodesAreExcludedFromCounts(t *testing.T) {
+	net := newNet(t, 100, 12)
+	net.Fail(0, 1, 2, 3, 4)
+	c := seedEvenClusters(t, net, 10)
+	if c.ClusteredCount() != 95 {
+		t.Fatalf("clustered = %d, want 95 live nodes", c.ClusteredCount())
+	}
+	sizes := c.ClusterSizes()
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 95 {
+		t.Fatalf("cluster sizes sum to %d, want 95", total)
+	}
+}
+
+func TestClusterPrimitivesCostConstantRounds(t *testing.T) {
+	net := newNet(t, 1000, 13)
+	c := seedEvenClusters(t, net, 25)
+	type step struct {
+		name   string
+		fn     func()
+		rounds int
+	}
+	steps := []step{
+		{"Activate", func() { c.Activate(0.5) }, 1},
+		{"MeasureSizes", func() { c.MeasureSizes() }, 2},
+		{"Dissolve", func() { c.Dissolve(2) }, 2},
+		{"Resize", func() { c.Resize(25) }, 2},
+		{"RandomPush", func() {
+			c.RandomPush(nil, func(int) phonecall.Message { return phonecall.Message{Tag: TagRecruit} }, nil)
+		}, 1},
+		{"RelayCandidates", func() { c.RelayCandidates() }, 1},
+		{"Merge", func() { c.Merge(func(int) (phonecall.NodeID, bool) { return phonecall.NoNode, false }) }, 1},
+		{"Compress", func() { c.Compress(1) }, 1},
+		{"ShareRumor", func() { c.ShareRumor() }, 2},
+	}
+	for _, s := range steps {
+		before := net.Round()
+		s.fn()
+		if got := net.Round() - before; got != s.rounds {
+			t.Fatalf("%s used %d rounds, want %d", s.name, got, s.rounds)
+		}
+	}
+}

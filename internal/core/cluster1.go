@@ -1,0 +1,66 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/phonecall"
+	"repro/internal/trace"
+)
+
+// Cluster1 runs Algorithm 1 of the paper and broadcasts the rumor held by the
+// source nodes to the whole network. It demonstrates the ideas behind the
+// optimal Θ(log log n) round complexity (Theorem 9) without tuning message or
+// bit complexity.
+//
+// Phases (see Algorithm 1):
+//  1. GrowInitialClusters — a 1/(C·ln n) fraction of nodes seed singleton
+//     clusters and recruit by random PUSH gossip until ≈90% of nodes are
+//     clustered in clusters of size Ω(ln n).
+//  2. SquareClusters — repeatedly square the cluster size by activating a
+//     1/s fraction of clusters and merging the rest into them.
+//  3. MergeAllClusters — merge every cluster into the cluster with the
+//     smallest ID.
+//  4. UnclusteredNodesPull — remaining unclustered nodes PULL until they join.
+//  5. ClusterShare — the rumor is shared within the single cluster.
+func Cluster1(net *phonecall.Network, sources []int, params Params) (trace.Result, error) {
+	p := params.withDefaults()
+	if err := checkSources(net, sources); err != nil {
+		return trace.Result{}, err
+	}
+	cl := cluster.New(net)
+	for _, s := range sources {
+		cl.SetRumor(s)
+	}
+	rec := trace.NewRecorder(net)
+
+	growInitialClustersDense(cl, p)
+	rec.Mark("GrowInitialClusters")
+
+	startSize := p.cluster1StartSize(net.N())
+	squareClusters(cl, p, startSize, squareStopSize(net.N()), pickSmallest)
+	rec.Mark("SquareClusters")
+
+	mergeAllClusters(cl, p)
+	rec.Mark("MergeAllClusters")
+
+	cl.PullJoin(pullJoinRounds(p, net.N()))
+	rec.Mark("UnclusteredNodesPull")
+
+	cl.ShareRumor()
+	rec.Mark("ClusterShare")
+
+	return trace.Summarize("cluster1", net, cl.InformedCount(), rec.Phases()), nil
+}
+
+// Cluster1Clustering runs only the clustering part of Algorithm 1 (no rumor)
+// and returns the resulting clustering. It is exposed for tests and for
+// applications that want to reuse the single cluster for coordination tasks
+// other than broadcast.
+func Cluster1Clustering(net *phonecall.Network, params Params) *cluster.Clustering {
+	p := params.withDefaults()
+	cl := cluster.New(net)
+	growInitialClustersDense(cl, p)
+	squareClusters(cl, p, p.cluster1StartSize(net.N()), squareStopSize(net.N()), pickSmallest)
+	mergeAllClusters(cl, p)
+	cl.PullJoin(pullJoinRounds(p, net.N()))
+	return cl
+}

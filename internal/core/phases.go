@@ -1,0 +1,414 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/phonecall"
+)
+
+// candidatePolicy selects how a node that received several recruiting pushes
+// chooses the cluster it reports to its leader.
+type candidatePolicy int
+
+const (
+	// pickSmallest keeps the smallest received cluster ID (Cluster1,
+	// MergeAllClusters).
+	pickSmallest candidatePolicy = iota + 1
+	// pickFirst keeps the first received cluster ID, which is a uniformly
+	// random one among the pushes that reached the node (Cluster2/Cluster3).
+	pickFirst
+)
+
+// recordCandidate applies the candidate policy at a receiving node.
+func recordCandidate(cl *cluster.Clustering, policy candidatePolicy, i int, id phonecall.NodeID) {
+	if id == phonecall.NoNode {
+		return
+	}
+	current := cl.Pending(i)
+	switch policy {
+	case pickSmallest:
+		if current == phonecall.NoNode || id < current {
+			cl.SetPending(i, id)
+		}
+	default:
+		if current == phonecall.NoNode {
+			cl.SetPending(i, id)
+		}
+	}
+}
+
+// growInitialClustersDense implements Procedure GrowInitialClusters of
+// Algorithm 1: singleton seed clusters recruit unclustered nodes by random
+// PUSH gossip until a GrowTargetFraction of the nodes is clustered (a
+// Θ(log log n)-round process).
+func growInitialClustersDense(cl *cluster.Clustering, p Params) {
+	net := cl.Network()
+	n := net.N()
+	seedProb := 1 / (p.SeedC * lnN(n))
+	if cl.SeedSingletons(seedProb) == 0 {
+		// Degenerate only for tiny n: deterministically promote the first live
+		// node so that the protocol can proceed.
+		for i := 0; i < n; i++ {
+			if !net.IsFailed(i) {
+				cl.SetFollow(i, net.ID(i))
+				cl.SetActive(i, true)
+				break
+			}
+		}
+	}
+	iterCap := p.phaseCap(n)
+	for iter := 0; iter < iterCap; iter++ {
+		if float64(cl.ClusteredCount()) >= p.GrowTargetFraction*float64(net.LiveCount()) {
+			break
+		}
+		cl.RandomPush(
+			nil, // every clustered node pushes its cluster ID
+			func(i int) phonecall.Message {
+				return phonecall.Message{Tag: cluster.TagRecruit, IDs: []phonecall.NodeID{cl.Follow(i)}}
+			},
+			func(j int, m phonecall.Message) {
+				if m.Tag != cluster.TagRecruit || len(m.IDs) != 1 {
+					return
+				}
+				if !cl.IsClustered(j) {
+					cl.SetFollow(j, m.IDs[0])
+				}
+			},
+		)
+	}
+}
+
+// growInitialClustersSparse implements Procedure GrowInitialClusters of
+// Algorithm 2: a much sparser set of seed clusters recruits until roughly
+// n/ln n nodes are clustered. Clusters measure their own growth; once a large
+// cluster grows by less than a factor 2−1/ln n it deactivates, and large
+// clusters are resized so that no cluster exceeds the target size by much.
+func growInitialClustersSparse(cl *cluster.Clustering, p Params, targetSize int) {
+	net := cl.Network()
+	n := net.N()
+	// Seed so that (#seeds)·targetSize ≈ n/(SparseFractionC·ln n).
+	seedProb := 1 / (p.SparseFractionC * lnN(n) * float64(targetSize))
+	if cl.SeedSingletons(seedProb) == 0 {
+		for i := 0; i < n; i++ {
+			if !net.IsFailed(i) {
+				cl.SetFollow(i, net.ID(i))
+				cl.SetActive(i, true)
+				break
+			}
+		}
+	}
+	growthFactor := 2 - 1/lnN(n)
+	clusteredTarget := float64(net.LiveCount()) / lnN(n) * 2
+	// A cluster can at most double per push round, so no cluster can reach
+	// targetSize before round log₂(targetSize); the size-control rounds
+	// (ClusterSize, growth check, ClusterResize) are skipped until then.
+	sizeControlFrom := int(math.Floor(math.Log2(float64(targetSize)))) - 1
+	if sizeControlFrom < 0 {
+		sizeControlFrom = 0
+	}
+	iterCap := p.phaseCap(n)
+	for iter := 0; iter < iterCap; iter++ {
+		if countActiveLeaders(cl) == 0 {
+			break
+		}
+		if float64(cl.ClusteredCount()) >= clusteredTarget {
+			break
+		}
+		cl.RandomPush(
+			func(i int) bool { return cl.IsActive(i) },
+			func(i int) phonecall.Message {
+				return phonecall.Message{Tag: cluster.TagRecruit, IDs: []phonecall.NodeID{cl.Follow(i)}}
+			},
+			func(j int, m phonecall.Message) {
+				if m.Tag != cluster.TagRecruit || len(m.IDs) != 1 {
+					return
+				}
+				if !cl.IsClustered(j) {
+					cl.SetFollow(j, m.IDs[0])
+					// The recruiting cluster is active by construction.
+					cl.SetActive(j, true)
+				}
+			},
+		)
+		if iter < sizeControlFrom {
+			continue
+		}
+		cl.MeasureSizes()
+		cl.SetActivation(func(leader int) bool {
+			if !cl.IsActive(leader) {
+				return false
+			}
+			size, prev := cl.Size(leader), cl.PrevSize(leader)
+			if size >= targetSize && prev > 0 && float64(size) < growthFactor*float64(prev) {
+				return false
+			}
+			return true
+		})
+		if largestClusterSize(cl) >= 2*targetSize {
+			cl.Resize(targetSize)
+		}
+	}
+}
+
+// squareClusters implements Procedure SquareClusters (Algorithms 1 and 2):
+// clusters of size s are repeatedly merged into clusters of size Θ(s²)
+// (Θ(s²/log n) in the sparse variant) until the cluster size reaches
+// stopSize. Each iteration costs a constant number of rounds, and the size
+// squaring bounds the number of iterations by O(log log n).
+func squareClusters(cl *cluster.Clustering, p Params, startSize, stopSize int, policy candidatePolicy) {
+	net := cl.Network()
+	n := net.N()
+	s := startSize
+	// Safeguard against over-aggressive constants at small n: never dissolve
+	// more than half of the existing clusters.
+	if median := clusterSizePercentile(cl, 0.5, 2); s > median {
+		s = median
+	}
+	cl.Dissolve(s)
+	iterCap := p.phaseCap(n)
+	for iter := 0; iter < iterCap; iter++ {
+		if s >= stopSize || largestClusterSize(cl) >= stopSize {
+			break
+		}
+		if cl.ClusteredCount() == 0 {
+			break
+		}
+		cl.Resize(s)
+		activateClusters(cl, 1/float64(s))
+		for rep := 0; rep < 2; rep++ {
+			recruitAndMerge(cl, policy, func(i int) bool { return cl.IsActive(i) }, mergeInactiveOnly)
+		}
+		cl.Compress(1)
+		// The paper sets s ← Θ(s²); measure the realized sizes so the next
+		// resize/activation matches the clusters actually produced.
+		next := clusterSizePercentile(cl, 0.25, s+1)
+		if next > stopSize {
+			next = stopSize
+		}
+		if next <= s {
+			next = s + 1
+		}
+		s = next
+	}
+}
+
+// mergeScope selects which clusters are allowed to merge in recruitAndMerge.
+type mergeScope int
+
+const (
+	mergeInactiveOnly mergeScope = iota + 1
+	mergeAnySmallerID
+)
+
+// recruitAndMerge runs one ClusterPUSH / relay / ClusterMerge iteration:
+// participating cluster members push their cluster ID to random nodes,
+// receivers relay one candidate to their leader, and leaders of eligible
+// clusters merge into a candidate.
+func recruitAndMerge(cl *cluster.Clustering, policy candidatePolicy, participate func(i int) bool, scope mergeScope) {
+	net := cl.Network()
+	cl.RandomPush(
+		participate,
+		func(i int) phonecall.Message {
+			return phonecall.Message{Tag: cluster.TagRecruit, IDs: []phonecall.NodeID{cl.Follow(i)}}
+		},
+		func(j int, m phonecall.Message) {
+			if m.Tag != cluster.TagRecruit || len(m.IDs) != 1 {
+				return
+			}
+			if !cl.IsClustered(j) {
+				return
+			}
+			if scope == mergeInactiveOnly && cl.IsActive(j) {
+				return
+			}
+			if m.IDs[0] == cl.Follow(j) {
+				return // a push from the node's own cluster
+			}
+			recordCandidate(cl, policy, j, m.IDs[0])
+		},
+	)
+	cl.RelayCandidates()
+	cl.Merge(func(leader int) (phonecall.NodeID, bool) {
+		if scope == mergeInactiveOnly && cl.IsActive(leader) {
+			return phonecall.NoNode, false
+		}
+		candidates := cl.Candidates(leader)
+		if len(candidates) == 0 {
+			return phonecall.NoNode, false
+		}
+		own := net.ID(leader)
+		switch policy {
+		case pickSmallest:
+			best := candidates[0]
+			for _, c := range candidates[1:] {
+				if c < best {
+					best = c
+				}
+			}
+			if scope == mergeAnySmallerID && best >= own {
+				return phonecall.NoNode, false
+			}
+			return best, true
+		default:
+			pick := candidates[net.NodeRNG(leader).Intn(len(candidates))]
+			return pick, true
+		}
+	})
+	cl.ClearCandidates()
+}
+
+// activateClusters runs ClusterActivate(prob) with a driver-side safeguard:
+// if by bad luck no cluster activates (only relevant at small n), activation
+// is retried a bounded number of times and finally forced for the
+// smallest-ID leader.
+func activateClusters(cl *cluster.Clustering, prob float64) {
+	for attempt := 0; attempt < 5; attempt++ {
+		cl.Activate(prob)
+		if countActiveLeaders(cl) > 0 {
+			return
+		}
+	}
+	cl.SetActivation(func(leader int) bool {
+		return cl.Network().ID(leader) == smallestLeaderID(cl)
+	})
+}
+
+// smallestLeaderID returns the smallest live leader ID (local).
+func smallestLeaderID(cl *cluster.Clustering) phonecall.NodeID {
+	net := cl.Network()
+	best := phonecall.NoNode
+	for i := 0; i < net.N(); i++ {
+		if net.IsFailed(i) || !cl.IsLeader(i) {
+			continue
+		}
+		if best == phonecall.NoNode || net.ID(i) < best {
+			best = net.ID(i)
+		}
+	}
+	return best
+}
+
+// mergeAllClusters implements Procedure MergeAllClusters: every cluster
+// pushes its ID, and every cluster merges towards the smallest ID it
+// received. The paper uses two repetitions; the driver repeats until a single
+// cluster remains (bounded by MergeAllIterations), which at practical n takes
+// two or three repetitions.
+func mergeAllClusters(cl *cluster.Clustering, p Params) {
+	for iter := 0; iter < p.MergeAllIterations; iter++ {
+		if cl.ClusteredCount() == 0 || cl.LeaderCount() <= 1 {
+			break
+		}
+		recruitAndMerge(cl, pickSmallest, nil, mergeAnySmallerID)
+		cl.Compress(1)
+	}
+	cl.Compress(1)
+}
+
+// boundedClusterPush implements Procedure BoundedClusterPush (Algorithm 2,
+// and with resizeTarget > 0 the Algorithm 4 variant with continuous
+// ClusterResize): the clusters recruit unclustered nodes by random pushes and
+// measure their own growth, deactivating once growth falls below
+// BoundedGrowthFactor. This expands the clustered set to Θ(n) while sending
+// only O(n) messages: the per-iteration cost is proportional to the current
+// cluster sizes, which grow geometrically, so the total telescopes to O(n).
+//
+// Cluster growth is measured by having each newly recruited node report to
+// its leader once (a join report), which is cheaper than re-running
+// ClusterSize over the whole cluster every iteration but gives the leader the
+// same information.
+func boundedClusterPush(cl *cluster.Clustering, p Params, resizeTarget int) {
+	net := cl.Network()
+	n := net.N()
+	cl.SetActivation(func(int) bool { return true })
+
+	// Leaders learn their current size once at the start of the phase.
+	cl.MeasureSizes()
+	sizeEst := make([]int, n)
+	for i := 0; i < n; i++ {
+		if cl.IsLeader(i) && !net.IsFailed(i) {
+			sizeEst[i] = cl.Size(i)
+			if sizeEst[i] < 1 {
+				sizeEst[i] = 1
+			}
+		}
+	}
+	mustReport := make([]bool, n)
+
+	iterCap := p.phaseCap(n)
+	for iter := 0; iter < iterCap; iter++ {
+		if countActiveLeaders(cl) == 0 {
+			break
+		}
+		if cl.ClusteredCount() >= net.LiveCount() {
+			break
+		}
+		// The Algorithm 4 variant keeps clusters at Θ(Δ) by resizing, but only
+		// when some cluster actually outgrew the bound — resizing every
+		// iteration would charge Θ(n) messages per iteration for nothing.
+		if resizeTarget > 0 && largestClusterSize(cl) >= 2*resizeTarget {
+			cl.Resize(resizeTarget)
+			cl.MeasureSizes()
+			for i := 0; i < n; i++ {
+				if cl.IsLeader(i) && !net.IsFailed(i) {
+					sizeEst[i] = cl.Size(i)
+				}
+			}
+			cl.SetActivation(func(int) bool { return true })
+		}
+		// ClusterPUSH(follow): unclustered receivers join the pushing cluster.
+		cl.RandomPush(
+			func(i int) bool { return cl.IsActive(i) },
+			func(i int) phonecall.Message {
+				return phonecall.Message{Tag: cluster.TagRecruit, IDs: []phonecall.NodeID{cl.Follow(i)}}
+			},
+			func(j int, m phonecall.Message) {
+				if m.Tag != cluster.TagRecruit || len(m.IDs) != 1 {
+					return
+				}
+				if !cl.IsClustered(j) {
+					cl.SetFollow(j, m.IDs[0])
+					cl.SetActive(j, true)
+					mustReport[j] = true
+				}
+			},
+		)
+		// Join reports: each new recruit tells its leader it arrived.
+		joins := make([]int, n)
+		net.ExecRound(
+			func(i int) phonecall.Intent {
+				if !mustReport[i] {
+					return phonecall.Silent()
+				}
+				mustReport[i] = false
+				return phonecall.PushIntent(phonecall.DirectTarget(cl.Follow(i)), phonecall.Message{Tag: cluster.TagSizeReport})
+			},
+			nil,
+			func(j int, inbox []phonecall.Message) {
+				if !cl.IsLeader(j) {
+					return
+				}
+				for _, m := range inbox {
+					if m.Tag == cluster.TagSizeReport {
+						joins[j]++
+					}
+				}
+			},
+		)
+		// Growth check: clusters that grew by less than the threshold stop.
+		cl.SetActivation(func(leader int) bool {
+			if !cl.IsActive(leader) {
+				return false
+			}
+			prev := sizeEst[leader]
+			sizeEst[leader] += joins[leader]
+			if prev > 0 && float64(sizeEst[leader]) < p.BoundedGrowthFactor*float64(prev) {
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// pullJoinRounds returns the round cap for UnclusteredNodesPull.
+func pullJoinRounds(p Params, n int) int { return p.phaseCap(n) }

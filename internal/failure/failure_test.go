@@ -1,0 +1,127 @@
+package failure
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/phonecall"
+)
+
+func newNet(t *testing.T, n int) *phonecall.Network {
+	t.Helper()
+	net, err := phonecall.New(phonecall.Config{N: n, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestRandomAdversary(t *testing.T) {
+	adv := Random{Count: 100, Seed: 3}
+	sel := adv.Select(1000)
+	if len(sel) != 100 {
+		t.Fatalf("selected %d nodes, want 100", len(sel))
+	}
+	seen := map[int]bool{}
+	for _, i := range sel {
+		if i < 0 || i >= 1000 || seen[i] {
+			t.Fatalf("bad selection %v", sel)
+		}
+		seen[i] = true
+	}
+	// Deterministic for a fixed seed.
+	again := Random{Count: 100, Seed: 3}.Select(1000)
+	for i := range sel {
+		if sel[i] != again[i] {
+			t.Fatal("random adversary is not deterministic for a fixed seed")
+		}
+	}
+	if adv.Name() != "random" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestRandomAdversaryDegenerate(t *testing.T) {
+	if sel := (Random{Count: 0, Seed: 1}).Select(10); len(sel) != 0 {
+		t.Fatal("count 0 should select nothing")
+	}
+	if sel := (Random{Count: 50, Seed: 1}).Select(10); len(sel) != 10 {
+		t.Fatalf("count beyond n should clamp to n, got %d", len(sel))
+	}
+}
+
+func TestBlockAdversary(t *testing.T) {
+	sel := Block{Count: 5}.Select(10)
+	want := []int{0, 1, 2, 3, 4}
+	if len(sel) != len(want) {
+		t.Fatalf("got %v", sel)
+	}
+	for i := range want {
+		if sel[i] != want[i] {
+			t.Fatalf("got %v, want %v", sel, want)
+		}
+	}
+	if got := (Block{Count: 20}).Select(10); len(got) != 10 {
+		t.Fatalf("block should clamp to n, got %d", len(got))
+	}
+}
+
+func TestStridedAdversary(t *testing.T) {
+	sel := Strided{Count: 4, Stride: 3}.Select(10)
+	if len(sel) != 4 {
+		t.Fatalf("got %v", sel)
+	}
+	seen := map[int]bool{}
+	for _, i := range sel {
+		if i < 0 || i >= 10 || seen[i] {
+			t.Fatalf("bad strided selection %v", sel)
+		}
+		seen[i] = true
+	}
+	if got := (Strided{Count: 3, Stride: 0}).Select(5); len(got) != 3 {
+		t.Fatalf("stride 0 should default to 1, got %v", got)
+	}
+}
+
+func TestStridedNeverLoopsForever(t *testing.T) {
+	f := func(count, stride, size uint8) bool {
+		n := int(size)%64 + 1
+		sel := Strided{Count: int(count) % 200, Stride: int(stride)}.Select(n)
+		return len(sel) <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyFailsNodes(t *testing.T) {
+	net := newNet(t, 100)
+	failed := Apply(net, Block{Count: 10})
+	if len(failed) != 10 || net.LiveCount() != 90 {
+		t.Fatalf("apply failed %d nodes, live %d", len(failed), net.LiveCount())
+	}
+	for _, i := range failed {
+		if !net.IsFailed(i) {
+			t.Fatalf("node %d should be failed", i)
+		}
+	}
+}
+
+func TestSurvivingSource(t *testing.T) {
+	net := newNet(t, 10)
+	net.Fail(0, 1, 2)
+	if s, ok := SurvivingSource(net, 5); !ok || s != 5 {
+		t.Fatalf("preferred live source not returned: %d %v", s, ok)
+	}
+	if s, ok := SurvivingSource(net, 1); !ok || net.IsFailed(s) {
+		t.Fatalf("should fall back to a live node, got %d %v", s, ok)
+	}
+	all := make([]int, 10)
+	for i := range all {
+		all[i] = i
+	}
+	net.Fail(all...)
+	if _, ok := SurvivingSource(net, 0); ok {
+		t.Fatal("no survivors should report ok=false")
+	}
+}

@@ -1,0 +1,163 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func pathGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	g := New(0)
+	if g.N() != 0 || !g.Connected() {
+		t.Fatal("empty graph should be connected with 0 vertices")
+	}
+	g1 := New(1)
+	if !g1.Connected() {
+		t.Fatal("single vertex graph should be connected")
+	}
+	if d, ok := g1.DiameterLowerBound(); d != 0 || !ok {
+		t.Fatalf("single vertex diameter = %d, %v", d, ok)
+	}
+}
+
+func TestAddEdgeIgnoresBadInput(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 0)
+	g.AddEdge(-1, 2)
+	g.AddEdge(0, 7)
+	if g.Edges() != 0 {
+		t.Fatalf("expected no edges, got %d", g.Edges())
+	}
+}
+
+func TestPathDistances(t *testing.T) {
+	g := pathGraph(6)
+	dist := g.BFS(0)
+	for i := 0; i < 6; i++ {
+		if dist[i] != int32(i) {
+			t.Fatalf("dist[%d] = %d, want %d", i, dist[i], i)
+		}
+	}
+	ecc, all := g.Eccentricity(0)
+	if ecc != 5 || !all {
+		t.Fatalf("eccentricity = %d, %v", ecc, all)
+	}
+	if d, ok := g.DiameterLowerBound(); d != 5 || !ok {
+		t.Fatalf("diameter = %d, %v, want 5", d, ok)
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if g.Connected() {
+		t.Fatal("graph should be disconnected")
+	}
+	if _, ok := g.DiameterLowerBound(); ok {
+		t.Fatal("diameter of disconnected graph should report not-ok")
+	}
+	dist := g.BFS(0)
+	if dist[2] != Unreachable || dist[3] != Unreachable {
+		t.Fatal("unreachable vertices must report Unreachable")
+	}
+}
+
+func TestDegreesAndEdges(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 2)
+	if g.Degree(0) != 3 || g.Degree(4) != 0 {
+		t.Fatalf("degrees wrong: %d, %d", g.Degree(0), g.Degree(4))
+	}
+	if g.MaxDegree() != 3 {
+		t.Fatalf("max degree = %d", g.MaxDegree())
+	}
+	if g.Edges() != 4 {
+		t.Fatalf("edges = %d", g.Edges())
+	}
+	if g.Degree(-1) != 0 || g.Degree(99) != 0 {
+		t.Fatal("out of range degree should be 0")
+	}
+}
+
+func TestBFSOutOfRangeSource(t *testing.T) {
+	g := pathGraph(3)
+	dist := g.BFS(-1)
+	for _, d := range dist {
+		if d != Unreachable {
+			t.Fatal("BFS from invalid source should reach nothing")
+		}
+	}
+}
+
+func TestStarGraphDiameter(t *testing.T) {
+	g := New(10)
+	for i := 1; i < 10; i++ {
+		g.AddEdge(0, i)
+	}
+	if d, ok := g.DiameterLowerBound(); d != 2 || !ok {
+		t.Fatalf("star diameter = %d, %v, want 2", d, ok)
+	}
+	if g.MaxDegree() != 9 {
+		t.Fatalf("star max degree = %d", g.MaxDegree())
+	}
+}
+
+func TestRandomGraphConnectivityProperty(t *testing.T) {
+	// Property: a ring plus random chords is connected and its diameter lower
+	// bound is at most n/2 (the ring diameter).
+	f := func(seed uint64, size uint8) bool {
+		n := int(size)%50 + 3
+		g := New(n)
+		for i := 0; i < n; i++ {
+			g.AddEdge(i, (i+1)%n)
+		}
+		src := rng.New(seed)
+		for i := 0; i < n/2; i++ {
+			g.AddEdge(src.Intn(n), src.Intn(n))
+		}
+		if !g.Connected() {
+			return false
+		}
+		d, ok := g.DiameterLowerBound()
+		return ok && d <= n/2+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSMatchesEccentricityDefinition(t *testing.T) {
+	// Property: Eccentricity(src) equals the maximum finite BFS distance.
+	f := func(seed uint64, size uint8) bool {
+		n := int(size)%30 + 2
+		g := New(n)
+		src := rng.New(seed)
+		for i := 0; i < 2*n; i++ {
+			g.AddEdge(src.Intn(n), src.Intn(n))
+		}
+		ecc, _ := g.Eccentricity(0)
+		maxFinite := 0
+		for _, d := range g.BFS(0) {
+			if d != Unreachable && int(d) > maxFinite {
+				maxFinite = int(d)
+			}
+		}
+		return ecc == maxFinite
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

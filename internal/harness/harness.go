@@ -1,0 +1,183 @@
+// Package harness runs the reproduction experiments E1–E7 defined in
+// DESIGN.md: it executes the paper's algorithms and the baselines across
+// sweeps of network sizes, seeds, Δ values and failure counts, aggregates the
+// round-, message- and bit-complexities, and renders the tables recorded in
+// EXPERIMENTS.md.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/phonecall"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Algorithm identifies one of the implemented gossip algorithms.
+type Algorithm string
+
+// The implemented algorithms.
+const (
+	AlgoPush            Algorithm = "push"
+	AlgoPull            Algorithm = "pull"
+	AlgoPushPull        Algorithm = "push-pull"
+	AlgoKarp            Algorithm = "karp-median-counter"
+	AlgoAddressBook     Algorithm = "addressbook"
+	AlgoNameDropper     Algorithm = "name-dropper"
+	AlgoCluster1        Algorithm = "cluster1"
+	AlgoCluster2        Algorithm = "cluster2"
+	AlgoClusterPushPull Algorithm = "clusterpushpull"
+)
+
+// Algorithms returns every broadcast algorithm in comparison order.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgoPush, AlgoPull, AlgoPushPull, AlgoKarp, AlgoAddressBook,
+		AlgoNameDropper, AlgoCluster1, AlgoCluster2, AlgoClusterPushPull,
+	}
+}
+
+// Options configures a single algorithm execution.
+type Options struct {
+	// PayloadBits is the rumor size b (default phonecall.DefaultPayloadBits).
+	PayloadBits int
+	// Workers is the number of goroutines the simulator may use per round.
+	Workers int
+	// Delta is the per-round communication bound for AlgoClusterPushPull.
+	Delta int
+	// Adversary, when non-nil, fails nodes before the execution starts.
+	Adversary failure.Adversary
+	// Params tunes the paper's algorithms.
+	Params core.Params
+}
+
+func (o Options) delta() int {
+	if o.Delta <= 0 {
+		return 1024
+	}
+	return o.Delta
+}
+
+// Run executes one algorithm on a fresh network of n nodes.
+func Run(algo Algorithm, n int, seed uint64, opts Options) (trace.Result, error) {
+	net, err := phonecall.New(phonecall.Config{
+		N:           n,
+		Seed:        seed,
+		PayloadBits: opts.PayloadBits,
+		Workers:     opts.Workers,
+	})
+	if err != nil {
+		return trace.Result{}, fmt.Errorf("harness: %w", err)
+	}
+	if opts.Adversary != nil {
+		failure.Apply(net, opts.Adversary)
+	}
+	source, ok := failure.SurvivingSource(net, 0)
+	if !ok {
+		return trace.Result{}, fmt.Errorf("harness: all nodes failed")
+	}
+	sources := []int{source}
+
+	switch algo {
+	case AlgoPush:
+		return baseline.Push(net, sources)
+	case AlgoPull:
+		return baseline.Pull(net, sources)
+	case AlgoPushPull:
+		return baseline.PushPull(net, sources)
+	case AlgoKarp:
+		return baseline.MedianCounter(net, sources)
+	case AlgoAddressBook:
+		return baseline.AddressBook(net, sources)
+	case AlgoNameDropper:
+		res, err := baseline.NameDropper(net, sources)
+		return res.Result, err
+	case AlgoCluster1:
+		return core.Cluster1(net, sources, opts.Params)
+	case AlgoCluster2:
+		return core.Cluster2(net, sources, opts.Params)
+	case AlgoClusterPushPull:
+		return core.ClusterPushPull(net, sources, opts.delta(), opts.Params)
+	default:
+		return trace.Result{}, fmt.Errorf("harness: unknown algorithm %q", algo)
+	}
+}
+
+// Row aggregates repeated trials of one algorithm at one network size.
+type Row struct {
+	Algorithm Algorithm
+	N         int
+	Trials    int
+
+	CompletionRounds stats.Summary
+	TotalRounds      stats.Summary
+	MessagesPerNode  stats.Summary
+	BitsPerNode      stats.Summary
+	MaxComms         stats.Summary
+	InformedFraction stats.Summary
+}
+
+// Aggregate runs the algorithm for every seed and summarizes the results.
+func Aggregate(algo Algorithm, n int, seeds []uint64, opts Options) (Row, error) {
+	row := Row{Algorithm: algo, N: n, Trials: len(seeds)}
+	var rounds, totals, msgs, bits, comms, informed []float64
+	for _, seed := range seeds {
+		res, err := Run(algo, n, seed, opts)
+		if err != nil {
+			return Row{}, err
+		}
+		rounds = append(rounds, float64(res.CompletionRound))
+		totals = append(totals, float64(res.Rounds))
+		msgs = append(msgs, res.MessagesPerNode)
+		bits = append(bits, float64(res.Bits)/float64(res.N))
+		comms = append(comms, float64(res.MaxCommsPerRound))
+		if res.Live > 0 {
+			informed = append(informed, float64(res.Informed)/float64(res.Live))
+		}
+	}
+	row.CompletionRounds = stats.Summarize(rounds)
+	row.TotalRounds = stats.Summarize(totals)
+	row.MessagesPerNode = stats.Summarize(msgs)
+	row.BitsPerNode = stats.Summarize(bits)
+	row.MaxComms = stats.Summarize(comms)
+	row.InformedFraction = stats.Summarize(informed)
+	return row, nil
+}
+
+// SweepConfig describes a size/seed sweep.
+type SweepConfig struct {
+	Sizes []int
+	Seeds []uint64
+	Opts  Options
+}
+
+// DefaultSweep returns the sweep used by the checked-in experiment tables:
+// three orders of magnitude of n and three seeds. Larger sweeps (up to 10⁶
+// nodes) are available through cmd/benchtab flags.
+func DefaultSweep() SweepConfig {
+	return SweepConfig{
+		Sizes: []int{1000, 10000, 100000},
+		Seeds: []uint64{1, 2, 3},
+	}
+}
+
+// Sweep aggregates every algorithm across the sweep sizes.
+func Sweep(algos []Algorithm, cfg SweepConfig) ([]Row, error) {
+	rows := make([]Row, 0, len(algos)*len(cfg.Sizes))
+	for _, algo := range algos {
+		for _, n := range cfg.Sizes {
+			if algo == AlgoNameDropper && n > 2000 {
+				continue // knowledge sets are Θ(n) per node; keep this baseline small
+			}
+			row, err := Aggregate(algo, n, cfg.Seeds, cfg.Opts)
+			if err != nil {
+				return nil, fmt.Errorf("sweep %s n=%d: %w", algo, n, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/failure"
+)
+
+func smallSweep() SweepConfig {
+	return SweepConfig{Sizes: []int{500, 2000}, Seeds: []uint64{1, 2}}
+}
+
+func TestRunEveryAlgorithm(t *testing.T) {
+	for _, a := range Algorithms() {
+		res, err := Run(a, 2000, 1, Options{Delta: 64})
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if !res.AllInformed {
+			t.Fatalf("%s informed only %d/%d", a, res.Informed, res.Live)
+		}
+		if res.CompletionRound <= 0 || res.CompletionRound > res.Rounds {
+			t.Fatalf("%s completion round %d out of range (total %d)", a, res.CompletionRound, res.Rounds)
+		}
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	if _, err := Run(Algorithm("nope"), 100, 1, Options{}); err == nil {
+		t.Fatal("unknown algorithm should fail")
+	}
+}
+
+func TestRunWithAdversary(t *testing.T) {
+	res, err := Run(AlgoCluster2, 5000, 3, Options{Adversary: failure.Random{Count: 500, Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Live != 4500 {
+		t.Fatalf("live = %d, want 4500", res.Live)
+	}
+	if res.Informed < 4400 {
+		t.Fatalf("informed = %d, too many uninformed survivors", res.Informed)
+	}
+}
+
+func TestRunAllFailed(t *testing.T) {
+	if _, err := Run(AlgoPush, 100, 1, Options{Adversary: failure.Block{Count: 100}}); err == nil {
+		t.Fatal("all-failed network should error")
+	}
+}
+
+func TestAggregateSummaries(t *testing.T) {
+	row, err := Aggregate(AlgoPushPull, 1000, []uint64{1, 2, 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Trials != 3 || row.CompletionRounds.Count != 3 {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.InformedFraction.Min < 1 {
+		t.Fatalf("push-pull should always inform everyone, got %v", row.InformedFraction)
+	}
+	if row.TotalRounds.Mean < row.CompletionRounds.Mean {
+		t.Fatal("total rounds cannot be below completion rounds")
+	}
+}
+
+func TestSweepSkipsLargeNameDropper(t *testing.T) {
+	rows, err := Sweep([]Algorithm{AlgoNameDropper}, SweepConfig{Sizes: []int{500, 100000}, Seeds: []uint64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].N != 500 {
+		t.Fatalf("sweep rows = %+v", rows)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		ID:     "EX",
+		Title:  "demo",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	out := tbl.Render()
+	for _, want := range []string{"EX — demo", "a    bbbb", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("E99", smallSweep()); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestExperimentE4SmallSweep(t *testing.T) {
+	tbl, err := RunExperiment("e4", smallSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("expected one row per size, got %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("lower bound violated in row %v", row)
+		}
+	}
+}
+
+func TestExperimentE6SmallSweep(t *testing.T) {
+	cfg := SweepConfig{Sizes: []int{4000}, Seeds: []uint64{1, 2}}
+	tbl, err := RunExperiment("E6", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestExperimentIDsDispatch(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 7 {
+		t.Fatalf("want 7 experiments, got %v", ids)
+	}
+}

@@ -1,0 +1,512 @@
+// Package phonecall implements the random phone call model with direct
+// addressing used by Haeupler and Malkhi (PODC 2014).
+//
+// The model (Section 2 of the paper): a complete network of n nodes with
+// unique IDs drawn from a polynomially large ID space. Time advances in
+// synchronous rounds. In every round each live node may initiate at most one
+// communication: it either PUSHes a message to a target or PULLs a message
+// from a target, where the target is a uniformly random node or a node whose
+// ID the initiator learned earlier (direct addressing). Responses to PULLs
+// are address-oblivious: a node exposes a single response per round that is
+// handed to every puller.
+//
+// The Network type is the simulation substrate: it resolves contacts,
+// delivers inboxes, injects failures, and accounts rounds, messages, bits and
+// the per-round number of communications each node participates in (the
+// quantity the paper calls Δ). Protocols are written as per-node callbacks;
+// a node's decisions may only depend on its own state and its inbox.
+package phonecall
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// NodeID is a node address from the polynomially large ID space. The zero
+// value means "no node" (the paper's follow = ∞).
+type NodeID uint64
+
+// NoNode is the absent-node sentinel.
+const NoNode NodeID = 0
+
+// Kind describes the communication a node initiates in a round.
+type Kind uint8
+
+// Communication kinds. A node that stays silent uses None. Exchange models
+// the classical random phone call in which the caller both PUSHes its message
+// and PULLs the callee's response over the same connection; it is used by the
+// baseline algorithms (uniform PUSH-PULL, Karp et al.), not by the clustering
+// algorithms of the paper.
+const (
+	None Kind = iota
+	Push
+	Pull
+	Exchange
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Push:
+		return "push"
+	case Pull:
+		return "pull"
+	case Exchange:
+		return "exchange"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Target identifies whom a node contacts: either a uniformly random node or a
+// specific node by ID (direct addressing).
+type Target struct {
+	Random bool
+	ID     NodeID
+}
+
+// RandomTarget returns a target that the engine resolves to a uniformly
+// random other node.
+func RandomTarget() Target { return Target{Random: true} }
+
+// DirectTarget returns a direct-addressing target.
+func DirectTarget(id NodeID) Target { return Target{ID: id} }
+
+// Message is the unit of communication. Its size in bits is derived from its
+// content unless Bits is set explicitly.
+type Message struct {
+	// Tag is a protocol-defined discriminator.
+	Tag uint8
+	// From is filled in by the engine with the sender's ID.
+	From NodeID
+	// Rumor marks that the message carries the b-bit broadcast payload.
+	Rumor bool
+	// Value carries a counter, size, or coin flip (O(log n) bits).
+	Value uint64
+	// IDs carries node IDs (each O(log n) bits).
+	IDs []NodeID
+	// Bits overrides the computed size when non-zero.
+	Bits int
+}
+
+// Intent is a node's initiated communication for one round.
+type Intent struct {
+	Kind    Kind
+	Target  Target
+	Payload Message // used for Push
+}
+
+// Silent is the do-nothing intent.
+func Silent() Intent { return Intent{Kind: None} }
+
+// PushIntent builds a push intent.
+func PushIntent(t Target, m Message) Intent { return Intent{Kind: Push, Target: t, Payload: m} }
+
+// PullIntent builds a pull intent.
+func PullIntent(t Target) Intent { return Intent{Kind: Pull, Target: t} }
+
+// ExchangeIntent builds an exchange (simultaneous push and pull) intent. If
+// the payload has no content only the pull half takes place.
+func ExchangeIntent(t Target, m Message) Intent { return Intent{Kind: Exchange, Target: t, Payload: m} }
+
+// HasContent reports whether the message carries any information (and hence
+// is transmitted and charged at all).
+func (m Message) HasContent() bool {
+	return m.Tag != 0 || m.Rumor || m.Value != 0 || len(m.IDs) > 0 || m.Bits > 0
+}
+
+// Config configures a Network.
+type Config struct {
+	// N is the number of nodes. Required.
+	N int
+	// Seed drives all randomness of the execution.
+	Seed uint64
+	// PayloadBits is b, the rumor size in bits. Defaults to DefaultPayloadBits.
+	PayloadBits int
+	// Workers is the number of goroutines used to evaluate per-node callbacks.
+	// Values <= 1 mean sequential execution. Results are identical for any
+	// worker count.
+	Workers int
+}
+
+// DefaultPayloadBits is the default rumor size (b = 256 bits ≈ Ω(log n)).
+const DefaultPayloadBits = 256
+
+// Metrics aggregates the complexity measures of an execution.
+type Metrics struct {
+	// Rounds is the number of synchronous rounds executed.
+	Rounds int
+	// Messages counts payload-carrying messages (push payloads and pull
+	// responses).
+	Messages int64
+	// ControlMessages counts pull requests.
+	ControlMessages int64
+	// Bits is the total number of bits across all messages, including pull
+	// requests.
+	Bits int64
+	// MaxCommsPerRound is the maximum number of communications any single node
+	// participated in during any single round (the paper's Δ).
+	MaxCommsPerRound int
+	// MessagesSent holds, per node index, the number of messages that node sent
+	// (push payloads plus pull responses plus pull requests).
+	MessagesSent []int64
+}
+
+// TotalMessages returns payload plus control messages.
+func (m Metrics) TotalMessages() int64 { return m.Messages + m.ControlMessages }
+
+// MessagesPerNode returns the average number of messages sent per node.
+func (m Metrics) MessagesPerNode() float64 {
+	if len(m.MessagesSent) == 0 {
+		return 0
+	}
+	return float64(m.TotalMessages()) / float64(len(m.MessagesSent))
+}
+
+// RoundReport summarizes a single round.
+type RoundReport struct {
+	Round    int
+	Messages int64
+	Bits     int64
+	MaxComms int
+}
+
+// Network is the synchronous random phone call simulator.
+type Network struct {
+	cfg         Config
+	n           int
+	ids         []NodeID
+	index       map[NodeID]int
+	failed      []bool
+	liveCount   int
+	nodeRNG     []rng.Source
+	idBits      int
+	counterBits int
+	tagBits     int
+	round       int
+
+	metrics Metrics
+
+	// scratch buffers reused across rounds
+	comms   []int32
+	intents []Intent
+	inbox   [][]Message
+	resp    []Message
+	respOK  []bool
+	respSet []bool
+}
+
+// Validation errors returned by New.
+var (
+	ErrBadSize = errors.New("phonecall: network needs at least 2 nodes")
+)
+
+// New creates a network of cfg.N nodes with unique random IDs.
+func New(cfg Config) (*Network, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadSize, cfg.N)
+	}
+	if cfg.PayloadBits <= 0 {
+		cfg.PayloadBits = DefaultPayloadBits
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+
+	logN := bits.Len(uint(cfg.N))
+	net := &Network{
+		cfg:         cfg,
+		n:           cfg.N,
+		ids:         make([]NodeID, cfg.N),
+		index:       make(map[NodeID]int, cfg.N),
+		failed:      make([]bool, cfg.N),
+		liveCount:   cfg.N,
+		nodeRNG:     make([]rng.Source, cfg.N),
+		idBits:      max(16, 2*logN),
+		counterBits: logN + 1,
+		tagBits:     8,
+		comms:       make([]int32, cfg.N),
+		intents:     make([]Intent, cfg.N),
+		inbox:       make([][]Message, cfg.N),
+		resp:        make([]Message, cfg.N),
+		respOK:      make([]bool, cfg.N),
+		respSet:     make([]bool, cfg.N),
+	}
+	net.metrics.MessagesSent = make([]int64, cfg.N)
+
+	idSource := rng.New(rng.Mix(cfg.Seed, 0x1d5))
+	for i := 0; i < cfg.N; i++ {
+		for {
+			id := NodeID(idSource.Uint64()>>1) + 1 // non-zero, 63-bit space
+			if _, taken := net.index[id]; !taken {
+				net.ids[i] = id
+				net.index[id] = i
+				break
+			}
+		}
+		net.nodeRNG[i].Reseed(rng.Mix(cfg.Seed, 0xa11ce, uint64(i)))
+	}
+	return net, nil
+}
+
+// N returns the number of nodes (including failed ones).
+func (net *Network) N() int { return net.n }
+
+// LiveCount returns the number of non-failed nodes.
+func (net *Network) LiveCount() int { return net.liveCount }
+
+// Seed returns the execution seed.
+func (net *Network) Seed() uint64 { return net.cfg.Seed }
+
+// PayloadBits returns b, the rumor size in bits.
+func (net *Network) PayloadBits() int { return net.cfg.PayloadBits }
+
+// IDBits returns the number of bits used to encode one node ID.
+func (net *Network) IDBits() int { return net.idBits }
+
+// ID returns the ID of the node with the given index.
+func (net *Network) ID(i int) NodeID { return net.ids[i] }
+
+// IndexOf returns the index of a node ID.
+func (net *Network) IndexOf(id NodeID) (int, bool) {
+	i, ok := net.index[id]
+	return i, ok
+}
+
+// NodeRNG returns the per-node random stream for local coin flips. The stream
+// is independent of the streams of other nodes and of the engine's contact
+// resolution.
+func (net *Network) NodeRNG(i int) *rng.Source { return &net.nodeRNG[i] }
+
+// Fail marks the given node indexes as failed. Failed nodes never initiate,
+// never respond, and drop messages addressed to them. Matching the paper's
+// oblivious-adversary model, failures should be injected before the protocol
+// starts.
+func (net *Network) Fail(indexes ...int) {
+	for _, i := range indexes {
+		if i >= 0 && i < net.n && !net.failed[i] {
+			net.failed[i] = true
+			net.liveCount--
+		}
+	}
+}
+
+// IsFailed reports whether node i is failed.
+func (net *Network) IsFailed(i int) bool { return net.failed[i] }
+
+// Round returns the number of rounds executed so far.
+func (net *Network) Round() int { return net.round }
+
+// Metrics returns a copy of the accumulated metrics.
+func (net *Network) Metrics() Metrics {
+	m := net.metrics
+	m.Rounds = net.round
+	m.MessagesSent = append([]int64(nil), net.metrics.MessagesSent...)
+	return m
+}
+
+// MessageSize returns the size in bits of a message under the paper's
+// accounting: O(log n) bits for tags/counters/IDs plus the b-bit rumor when
+// carried.
+func (net *Network) MessageSize(m Message) int {
+	if m.Bits > 0 {
+		return m.Bits
+	}
+	size := net.tagBits + net.counterBits + len(m.IDs)*net.idBits
+	if m.Rumor {
+		size += net.cfg.PayloadBits
+	}
+	return size
+}
+
+// controlSize is the size of a pull request.
+func (net *Network) controlSize() int { return net.tagBits + net.idBits }
+
+// ExecRound executes one synchronous round.
+//
+// intentOf is invoked once per live node and returns that node's initiated
+// communication. responseOf is invoked at most once per live node that is
+// pulled from and returns the node's address-oblivious response (ok=false
+// means the node does not respond this round). deliver is invoked once per
+// live node that received at least one message, with the node's inbox; inbox
+// slices are only valid during the callback.
+//
+// Any of the callbacks may be nil.
+func (net *Network) ExecRound(
+	intentOf func(i int) Intent,
+	responseOf func(i int) (Message, bool),
+	deliver func(i int, inbox []Message),
+) RoundReport {
+	net.round++
+	roundStartMessages := net.metrics.Messages + net.metrics.ControlMessages
+	roundStartBits := net.metrics.Bits
+
+	// Phase 1: collect intents (parallelizable: callbacks touch only node i).
+	intents := net.intents
+	for i := range intents {
+		intents[i] = Intent{}
+	}
+	if intentOf != nil {
+		net.forEachLive(func(i int) { intents[i] = intentOf(i) })
+	}
+
+	// Phase 2: resolve contacts, account, and build inboxes (sequential; cheap).
+	comms := net.comms
+	for i := range comms {
+		comms[i] = 0
+	}
+	inbox := net.inbox
+	for i := range inbox {
+		inbox[i] = inbox[i][:0]
+	}
+	for i := range net.resp {
+		net.respSet[i] = false
+		net.respOK[i] = false
+	}
+
+	for i := 0; i < net.n; i++ {
+		it := intents[i]
+		if it.Kind == None || net.failed[i] {
+			continue
+		}
+		j, ok := net.resolveTarget(i, it.Target)
+		comms[i]++
+		targetLive := ok && !net.failed[j]
+		if ok {
+			comms[j]++
+		}
+		switch it.Kind {
+		case Push:
+			msg := it.Payload
+			msg.From = net.ids[i]
+			size := net.MessageSize(msg)
+			net.metrics.Messages++
+			net.metrics.Bits += int64(size)
+			net.metrics.MessagesSent[i]++
+			if targetLive {
+				inbox[j] = append(inbox[j], msg)
+			}
+		case Pull, Exchange:
+			if it.Kind == Exchange && it.Payload.HasContent() {
+				msg := it.Payload
+				msg.From = net.ids[i]
+				size := net.MessageSize(msg)
+				net.metrics.Messages++
+				net.metrics.Bits += int64(size)
+				net.metrics.MessagesSent[i]++
+				if targetLive {
+					inbox[j] = append(inbox[j], msg)
+				}
+			} else {
+				net.metrics.ControlMessages++
+				net.metrics.Bits += int64(net.controlSize())
+				net.metrics.MessagesSent[i]++
+			}
+			if targetLive && responseOf != nil {
+				if !net.respSet[j] {
+					net.resp[j], net.respOK[j] = responseOf(j)
+					net.respSet[j] = true
+				}
+				if net.respOK[j] {
+					m := net.resp[j]
+					m.From = net.ids[j]
+					size := net.MessageSize(m)
+					net.metrics.Messages++
+					net.metrics.Bits += int64(size)
+					net.metrics.MessagesSent[j]++
+					inbox[i] = append(inbox[i], m)
+				}
+			}
+		}
+	}
+
+	maxComms := 0
+	for _, c := range comms {
+		if int(c) > maxComms {
+			maxComms = int(c)
+		}
+	}
+	if maxComms > net.metrics.MaxCommsPerRound {
+		net.metrics.MaxCommsPerRound = maxComms
+	}
+
+	// Phase 3: deliver inboxes (parallelizable: callbacks touch only node i).
+	if deliver != nil {
+		net.forEachLive(func(i int) {
+			if len(inbox[i]) > 0 {
+				deliver(i, inbox[i])
+			}
+		})
+	}
+
+	return RoundReport{
+		Round:    net.round,
+		Messages: net.metrics.Messages + net.metrics.ControlMessages - roundStartMessages,
+		Bits:     net.metrics.Bits - roundStartBits,
+		MaxComms: maxComms,
+	}
+}
+
+// resolveTarget maps a target to a node index. Random targets are resolved
+// with a stateless hash of (seed, round, initiator) so that results do not
+// depend on iteration order or worker count.
+func (net *Network) resolveTarget(initiator int, t Target) (int, bool) {
+	if t.Random {
+		for attempt := uint64(0); ; attempt++ {
+			j := int(rng.BoundedUint64(uint64(net.n), net.cfg.Seed, 0xc0ffee, uint64(net.round), uint64(initiator), attempt))
+			if j != initiator {
+				return j, true
+			}
+		}
+	}
+	if t.ID == NoNode {
+		return 0, false
+	}
+	j, ok := net.index[t.ID]
+	if !ok || j == initiator {
+		return j, ok && j != initiator
+	}
+	return j, true
+}
+
+// forEachLive runs fn for every live node index, using cfg.Workers goroutines
+// when configured. fn must only access state owned by its node.
+func (net *Network) forEachLive(fn func(i int)) {
+	workers := net.cfg.Workers
+	if workers <= 1 || net.n < 4096 {
+		for i := 0; i < net.n; i++ {
+			if !net.failed[i] {
+				fn(i)
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (net.n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > net.n {
+			hi = net.n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if !net.failed[i] {
+					fn(i)
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

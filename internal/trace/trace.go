@@ -1,0 +1,127 @@
+// Package trace defines the execution summary shared by all gossip
+// algorithms in this repository (the paper's round-, message- and
+// bit-complexity figures) and a small helper for recording per-phase costs.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/phonecall"
+)
+
+// Phase records the cost of one named phase of an execution.
+type Phase struct {
+	Name     string
+	Rounds   int
+	Messages int64
+	Bits     int64
+}
+
+// Result summarizes one execution of a broadcast (or clustering) algorithm.
+type Result struct {
+	Algorithm string
+	N         int
+	Seed      uint64
+
+	// Complexity measures (the quantities of Theorems 1, 2, 9, 18).
+	Rounds           int
+	Messages         int64
+	ControlMessages  int64
+	Bits             int64
+	MessagesPerNode  float64
+	MaxCommsPerRound int
+
+	// CompletionRound is the first round by which every live node was
+	// informed. For self-terminating algorithms it equals Rounds; protocols
+	// that (faithfully to their model) keep running for their full fixed round
+	// budget report the earlier completion time here.
+	CompletionRound int
+
+	// Outcome.
+	Live        int
+	Informed    int
+	AllInformed bool
+
+	Phases []Phase
+}
+
+// UninformedSurvivors returns the number of live nodes that did not learn the
+// rumor (the paper's o(F) fault-tolerance measure).
+func (r Result) UninformedSurvivors() int { return r.Live - r.Informed }
+
+// String renders a compact one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s n=%d rounds=%d msgs/node=%.2f bits=%d maxΔ=%d informed=%d/%d",
+		r.Algorithm, r.N, r.Rounds, r.MessagesPerNode, r.Bits, r.MaxCommsPerRound, r.Informed, r.Live)
+}
+
+// Table renders the per-phase breakdown as an aligned text table.
+func (r Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %8s %12s %14s\n", "phase", "rounds", "messages", "bits")
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "%-28s %8d %12d %14d\n", p.Name, p.Rounds, p.Messages, p.Bits)
+	}
+	fmt.Fprintf(&b, "%-28s %8d %12d %14d\n", "total", r.Rounds, r.Messages+r.ControlMessages, r.Bits)
+	return b.String()
+}
+
+// Recorder captures per-phase deltas of the network metrics.
+type Recorder struct {
+	net    *phonecall.Network
+	phases []Phase
+
+	lastRound    int
+	lastMessages int64
+	lastBits     int64
+}
+
+// NewRecorder returns a Recorder positioned at the network's current metrics.
+func NewRecorder(net *phonecall.Network) *Recorder {
+	r := &Recorder{net: net}
+	m := net.Metrics()
+	r.lastRound = m.Rounds
+	r.lastMessages = m.TotalMessages()
+	r.lastBits = m.Bits
+	return r
+}
+
+// Mark closes the current phase under the given name.
+func (r *Recorder) Mark(name string) {
+	m := r.net.Metrics()
+	r.phases = append(r.phases, Phase{
+		Name:     name,
+		Rounds:   m.Rounds - r.lastRound,
+		Messages: m.TotalMessages() - r.lastMessages,
+		Bits:     m.Bits - r.lastBits,
+	})
+	r.lastRound = m.Rounds
+	r.lastMessages = m.TotalMessages()
+	r.lastBits = m.Bits
+}
+
+// Phases returns the recorded phases.
+func (r *Recorder) Phases() []Phase { return append([]Phase(nil), r.phases...) }
+
+// Summarize assembles a Result from the network's metrics and the outcome
+// counters supplied by the algorithm driver.
+func Summarize(algorithm string, net *phonecall.Network, informed int, phases []Phase) Result {
+	m := net.Metrics()
+	return Result{
+		Algorithm:        algorithm,
+		N:                net.N(),
+		Seed:             net.Seed(),
+		Rounds:           m.Rounds,
+		CompletionRound:  m.Rounds,
+		Messages:         m.Messages,
+		ControlMessages:  m.ControlMessages,
+		Bits:             m.Bits,
+		MessagesPerNode:  m.MessagesPerNode(),
+		MaxCommsPerRound: m.MaxCommsPerRound,
+		Live:             net.LiveCount(),
+		Informed:         informed,
+		AllInformed:      informed == net.LiveCount(),
+		Phases:           phases,
+	}
+}

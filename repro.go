@@ -1,0 +1,211 @@
+// Package repro is the public facade of the reproduction of "Optimal Gossip
+// with Direct Addressing" (Haeupler & Malkhi, PODC 2014).
+//
+// It exposes the paper's gossip algorithms (Cluster1, Cluster2,
+// ClusterPUSH-PULL with a Δ-clustering) and the prior-work baselines they are
+// compared against, all running on an exact simulation of the random phone
+// call model with direct addressing. The facade covers the common tasks —
+// broadcasting a rumor, bounding per-round communication, injecting failures,
+// querying the lower bounds, and regenerating the experiment tables — while
+// the internal packages hold the full machinery (see DESIGN.md).
+//
+// Quick start:
+//
+//	result, err := repro.Broadcast(repro.Config{N: 100_000, Algorithm: repro.AlgoCluster2})
+//	if err != nil { ... }
+//	fmt.Println(result.Rounds, result.MessagesPerNode)
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/harness"
+	"repro/internal/lowerbound"
+	"repro/internal/trace"
+)
+
+// Algorithm selects one of the implemented gossip algorithms.
+type Algorithm string
+
+// The available algorithms. The paper's contributions are AlgoCluster1
+// (Algorithm 1), AlgoCluster2 (Algorithm 2, the main result) and
+// AlgoClusterPushPull (Algorithms 3+4, bounded per-round communication); the
+// rest are the prior-work baselines.
+const (
+	AlgoPush            Algorithm = Algorithm(harness.AlgoPush)
+	AlgoPull            Algorithm = Algorithm(harness.AlgoPull)
+	AlgoPushPull        Algorithm = Algorithm(harness.AlgoPushPull)
+	AlgoKarp            Algorithm = Algorithm(harness.AlgoKarp)
+	AlgoAddressBook     Algorithm = Algorithm(harness.AlgoAddressBook)
+	AlgoNameDropper     Algorithm = Algorithm(harness.AlgoNameDropper)
+	AlgoCluster1        Algorithm = Algorithm(harness.AlgoCluster1)
+	AlgoCluster2        Algorithm = Algorithm(harness.AlgoCluster2)
+	AlgoClusterPushPull Algorithm = Algorithm(harness.AlgoClusterPushPull)
+)
+
+// Algorithms lists every available algorithm in comparison order.
+func Algorithms() []Algorithm {
+	out := make([]Algorithm, 0, len(harness.Algorithms()))
+	for _, a := range harness.Algorithms() {
+		out = append(out, Algorithm(a))
+	}
+	return out
+}
+
+// Config describes one broadcast execution.
+type Config struct {
+	// N is the number of nodes (required, at least 2).
+	N int
+	// Algorithm selects the protocol; it defaults to AlgoCluster2.
+	Algorithm Algorithm
+	// Seed makes the execution reproducible. Different seeds give independent
+	// executions.
+	Seed uint64
+	// PayloadBits is the rumor size b in bits (default 256).
+	PayloadBits int
+	// Workers bounds the number of goroutines used per simulated round
+	// (default 1; results are identical for any value).
+	Workers int
+	// Delta bounds per-round communications for AlgoClusterPushPull
+	// (default 1024, minimum 8).
+	Delta int
+	// Failures is the number of nodes an oblivious adversary fails before the
+	// execution starts (Section 8 of the paper).
+	Failures int
+	// FailureSeed drives the adversary's choice; it is independent of Seed.
+	FailureSeed uint64
+}
+
+// Phase is the cost of one named phase of an execution.
+type Phase struct {
+	Name     string
+	Rounds   int
+	Messages int64
+	Bits     int64
+}
+
+// Result reports the outcome and complexity of a broadcast execution.
+type Result struct {
+	Algorithm string
+	N         int
+	Seed      uint64
+
+	// Rounds is the total number of synchronous rounds executed;
+	// CompletionRound is the first round by which every live node knew the
+	// rumor (baselines with a fixed round budget keep running afterwards).
+	Rounds          int
+	CompletionRound int
+
+	// Messages counts rumor/payload messages, ControlMessages counts empty
+	// requests; MessagesPerNode averages both over the nodes. Bits is the
+	// total bit complexity. MaxCommsPerRound is the paper's Δ: the largest
+	// number of communications any node took part in during one round.
+	Messages         int64
+	ControlMessages  int64
+	Bits             int64
+	MessagesPerNode  float64
+	MaxCommsPerRound int
+
+	// Live is the number of non-failed nodes, Informed how many of them ended
+	// up with the rumor.
+	Live        int
+	Informed    int
+	AllInformed bool
+
+	Phases []Phase
+}
+
+// UninformedSurvivors returns the number of live nodes that did not learn the
+// rumor (the paper's fault-tolerance measure is that this is o(F)).
+func (r Result) UninformedSurvivors() int { return r.Live - r.Informed }
+
+// Broadcast runs one gossip execution described by cfg.
+func Broadcast(cfg Config) (Result, error) {
+	if cfg.N < 2 {
+		return Result{}, fmt.Errorf("repro: config needs N >= 2 (got %d)", cfg.N)
+	}
+	algo := cfg.Algorithm
+	if algo == "" {
+		algo = AlgoCluster2
+	}
+	opts := harness.Options{
+		PayloadBits: cfg.PayloadBits,
+		Workers:     cfg.Workers,
+		Delta:       cfg.Delta,
+	}
+	if cfg.Failures > 0 {
+		opts.Adversary = failure.Random{Count: cfg.Failures, Seed: cfg.FailureSeed}
+	}
+	res, err := harness.Run(harness.Algorithm(algo), cfg.N, cfg.Seed, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return fromTrace(res), nil
+}
+
+// MinPossibleRounds simulates the knowledge-graph lower bound of Theorem 3
+// for one random draw of per-round contacts: no algorithm in the model can
+// inform all n nodes in fewer rounds on those contacts.
+func MinPossibleRounds(n int, seed uint64) int {
+	minT, _ := lowerbound.MinRounds(n, seed)
+	return minT
+}
+
+// TheoreticalLowerBound returns the analytic 0.99·log₂ log₂ n round lower
+// bound of Theorem 3.
+func TheoreticalLowerBound(n int) float64 { return lowerbound.TheoreticalMinRounds(n) }
+
+// DeltaLowerBound returns the log n / log Δ round lower bound of Lemma 16 for
+// executions in which no node communicates with more than delta nodes per
+// round.
+func DeltaLowerBound(n, delta int) float64 { return lowerbound.DeltaBound(n, delta) }
+
+// MinDelta is the smallest supported per-round communication bound for
+// AlgoClusterPushPull.
+const MinDelta = core.MinDelta
+
+// Experiment regenerates one of the paper-reproduction tables (E1–E7, see
+// DESIGN.md and EXPERIMENTS.md) over the given network sizes and seeds and
+// returns it rendered as text. Empty slices select the default sweep.
+func Experiment(id string, sizes []int, seeds []uint64) (string, error) {
+	cfg := harness.DefaultSweep()
+	if len(sizes) > 0 {
+		cfg.Sizes = sizes
+	}
+	if len(seeds) > 0 {
+		cfg.Seeds = seeds
+	}
+	table, err := harness.RunExperiment(id, cfg)
+	if err != nil {
+		return "", err
+	}
+	return table.Render(), nil
+}
+
+// ExperimentIDs lists the reproducible experiment tables.
+func ExperimentIDs() []string { return harness.ExperimentIDs() }
+
+// fromTrace converts the internal result representation to the public one.
+func fromTrace(res trace.Result) Result {
+	out := Result{
+		Algorithm:        res.Algorithm,
+		N:                res.N,
+		Seed:             res.Seed,
+		Rounds:           res.Rounds,
+		CompletionRound:  res.CompletionRound,
+		Messages:         res.Messages,
+		ControlMessages:  res.ControlMessages,
+		Bits:             res.Bits,
+		MessagesPerNode:  res.MessagesPerNode,
+		MaxCommsPerRound: res.MaxCommsPerRound,
+		Live:             res.Live,
+		Informed:         res.Informed,
+		AllInformed:      res.AllInformed,
+	}
+	for _, p := range res.Phases {
+		out.Phases = append(out.Phases, Phase(p))
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBroadcastDefaults(t *testing.T) {
+	res, err := Broadcast(Config{N: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != string(AlgoCluster2) {
+		t.Fatalf("default algorithm = %s, want cluster2", res.Algorithm)
+	}
+	if !res.AllInformed {
+		t.Fatalf("not all informed: %d/%d", res.Informed, res.Live)
+	}
+	if len(res.Phases) == 0 {
+		t.Fatal("expected phase breakdown")
+	}
+}
+
+func TestBroadcastRejectsBadConfig(t *testing.T) {
+	if _, err := Broadcast(Config{N: 1}); err == nil {
+		t.Fatal("N=1 should be rejected")
+	}
+	if _, err := Broadcast(Config{N: 100, Algorithm: Algorithm("bogus")}); err == nil {
+		t.Fatal("unknown algorithm should be rejected")
+	}
+}
+
+func TestBroadcastEveryAlgorithm(t *testing.T) {
+	for _, algo := range Algorithms() {
+		res, err := Broadcast(Config{N: 2000, Seed: 2, Algorithm: algo, Delta: 64})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !res.AllInformed {
+			t.Fatalf("%s informed %d/%d", algo, res.Informed, res.Live)
+		}
+	}
+}
+
+func TestBroadcastWithFailures(t *testing.T) {
+	res, err := Broadcast(Config{N: 10000, Seed: 3, Failures: 1000, FailureSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Live != 9000 {
+		t.Fatalf("live = %d, want 9000", res.Live)
+	}
+	if res.UninformedSurvivors() > 50 {
+		t.Fatalf("uninformed survivors = %d, want o(F) with F=1000", res.UninformedSurvivors())
+	}
+}
+
+func TestBroadcastDeterministic(t *testing.T) {
+	a, err := Broadcast(Config{N: 3000, Seed: 11, Algorithm: AlgoCluster1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Broadcast(Config{N: 3000, Seed: 11, Algorithm: AlgoCluster1, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds || a.Messages != b.Messages || a.Bits != b.Bits {
+		t.Fatalf("same seed should give identical runs: %+v vs %+v", a, b)
+	}
+}
+
+func TestLowerBoundHelpers(t *testing.T) {
+	if TheoreticalLowerBound(1<<16) <= 0 {
+		t.Fatal("theoretical bound should be positive")
+	}
+	if MinPossibleRounds(10000, 1) < 1 {
+		t.Fatal("knowledge-graph bound should be at least 1 round")
+	}
+	if DeltaLowerBound(1<<20, 1<<10) != 2 {
+		t.Fatalf("DeltaLowerBound(2^20, 2^10) = %v, want 2", DeltaLowerBound(1<<20, 1<<10))
+	}
+	if MinDelta < 2 {
+		t.Fatal("MinDelta must be sensible")
+	}
+}
+
+func TestExperimentRendering(t *testing.T) {
+	out, err := Experiment("E4", []int{1000, 4000}, []uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E4") || !strings.Contains(out, "1000") {
+		t.Fatalf("unexpected experiment output:\n%s", out)
+	}
+	if _, err := Experiment("E0", nil, nil); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+	if len(ExperimentIDs()) != 7 {
+		t.Fatal("want 7 experiment ids")
+	}
+}
