@@ -156,24 +156,40 @@ func BenchmarkE7Comparison(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineRound measures the raw cost of one simulated round in which
-// every node pushes to a random target (the substrate's hot path).
+// benchEngineRound measures the raw cost of one simulated round in which
+// every node pushes to a random target (the substrate's hot path), at the
+// given worker count. The workload is shared with `benchtab -json` through
+// harness.EngineRoundDriver so the two stay comparable; the reported
+// allocations are the engine's own (zero in steady state).
+func benchEngineRound(b *testing.B, n, workers int) {
+	b.Helper()
+	step, _, err := harness.EngineRoundDriver(n, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for r := 0; r < harness.EngineWarmupRounds; r++ {
+		step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+	b.ReportMetric(float64(n), "nodes")
+}
+
+// BenchmarkEngineRound benchmarks the sharded round engine. The plain n=...
+// cases run single-shard (comparable with historic baselines); the workers=
+// cases exercise the sharded pipeline.
 func BenchmarkEngineRound(b *testing.B) {
 	for _, n := range []int{1000, 100000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			net, err := phonecall.New(phonecall.Config{N: n, Seed: 1})
-			if err != nil {
-				b.Fatal(err)
-			}
-			msg := phonecall.Message{Tag: 1, Rumor: true}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				net.ExecRound(
-					func(i int) phonecall.Intent { return phonecall.PushIntent(phonecall.RandomTarget(), msg) },
-					nil, nil,
-				)
-			}
-			b.ReportMetric(float64(n), "nodes")
+			benchEngineRound(b, n, 1)
+		})
+	}
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("n=100000/workers=%d", w), func(b *testing.B) {
+			benchEngineRound(b, 100000, w)
 		})
 	}
 }

@@ -1,19 +1,27 @@
 // Command benchtab regenerates the reproduction tables E1–E7 recorded in
-// EXPERIMENTS.md (one table per claim of the paper; see DESIGN.md §4).
+// EXPERIMENTS.md (one table per claim of the paper; see DESIGN.md §4), and
+// with -json benchmarks the simulator engine itself and emits a machine
+// readable BENCH_engine.json so the perf trajectory can be tracked across
+// changes.
 //
 // Example:
 //
 //	benchtab                           # all experiments, default sweep
 //	benchtab -experiment E1,E2         # selected experiments
 //	benchtab -sizes 1000,10000,100000,1000000 -seeds 5
+//	benchtab -json                     # engine benchmarks -> BENCH_engine.json
+//	benchtab -json -benchn 20000 -out bench.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/harness"
 )
@@ -31,9 +39,37 @@ func run(args []string) error {
 	sizes := fs.String("sizes", "1000,10000,100000", "comma-separated network sizes")
 	seeds := fs.Int("seeds", 3, "number of seeds per configuration")
 	payload := fs.Int("b", 256, "rumor size in bits")
-	workers := fs.Int("workers", 1, "simulator goroutines per round")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "simulator engine shards per round (results are identical for any value)")
+	emitJSON := fs.Bool("json", false, "benchmark the round engine instead of running experiments and write the results as JSON")
+	benchN := fs.Int("benchn", 100000, "network size for -json engine benchmarks")
+	out := fs.String("out", "BENCH_engine.json", "output path for -json (\"-\" for stdout only)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The two modes take disjoint flag sets; reject mixed invocations
+	// instead of silently ignoring flags.
+	var conflicting []string
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "experiment", "sizes", "seeds", "b":
+			if *emitJSON {
+				conflicting = append(conflicting, "-"+f.Name)
+			}
+		case "benchn", "out":
+			if !*emitJSON {
+				conflicting = append(conflicting, "-"+f.Name)
+			}
+		}
+	})
+	if len(conflicting) > 0 {
+		if *emitJSON {
+			return fmt.Errorf("-json benchmarks the engine and does not take %s", strings.Join(conflicting, ", "))
+		}
+		return fmt.Errorf("%s only apply with -json", strings.Join(conflicting, ", "))
+	}
+	if *emitJSON {
+		return runEngineBench(*benchN, *workers, *out)
 	}
 
 	cfg := harness.SweepConfig{Opts: harness.Options{PayloadBits: *payload, Workers: *workers}}
@@ -56,6 +92,115 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(table.Render())
+	}
+	return nil
+}
+
+// engineBenchResult is one measured configuration in BENCH_engine.json.
+// Rounds is the number of timed engine rounds (EngineRound); Trials is the
+// number of averaged end-to-end executions (BroadcastCluster2) — distinct
+// fields because one broadcast trial spans many rounds.
+type engineBenchResult struct {
+	Name    string  `json:"name"`
+	N       int     `json:"n"`
+	Workers int     `json:"workers,omitempty"`
+	Rounds  int     `json:"rounds,omitempty"`
+	Trials  int     `json:"trials,omitempty"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// engineBenchReport is the schema of BENCH_engine.json.
+type engineBenchReport struct {
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	Results    []engineBenchResult `json:"results"`
+}
+
+// benchEngineRound times the canonical engine-round workload, shared with
+// BenchmarkEngineRound in bench_test.go via harness.EngineRoundDriver so the
+// JSON trajectory stays comparable to the Go benchmark numbers. It returns
+// the effective shard count actually used, which the engine may clamp below
+// the requested value.
+func benchEngineRound(n, workers, rounds int) (float64, int, error) {
+	step, effective, err := harness.EngineRoundDriver(n, workers)
+	if err != nil {
+		return 0, 0, err
+	}
+	for r := 0; r < harness.EngineWarmupRounds; r++ {
+		step()
+	}
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		step()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(rounds), effective, nil
+}
+
+// broadcastTrials is the number of seeds averaged by benchBroadcastCluster2.
+const broadcastTrials = 3
+
+// benchBroadcastCluster2 measures one full Cluster2 broadcast.
+func benchBroadcastCluster2(n, workers int) (float64, error) {
+	start := time.Now()
+	for seed := uint64(1); seed <= broadcastTrials; seed++ {
+		res, err := harness.Run(harness.AlgoCluster2, n, seed, harness.Options{Workers: workers})
+		if err != nil {
+			return 0, err
+		}
+		if !res.AllInformed {
+			return 0, fmt.Errorf("cluster2 informed only %d/%d", res.Informed, res.Live)
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / broadcastTrials, nil
+}
+
+// runEngineBench benchmarks the round engine and the main algorithm and
+// writes the results as JSON, so future changes can track the perf
+// trajectory (ns/op for EngineRound and BroadcastCluster2). workers > 0
+// benchmarks {1, workers}; workers <= 0 benchmarks the default set
+// {1, GOMAXPROCS}.
+func runEngineBench(n, workers int, out string) error {
+	report := engineBenchReport{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	const rounds = 30
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workerCounts := []int{1}
+	if workers > 1 {
+		workerCounts = append(workerCounts, workers)
+	}
+	lastEffective := 0
+	for _, w := range workerCounts {
+		ns, effective, err := benchEngineRound(n, w, rounds)
+		if err != nil {
+			return err
+		}
+		if effective == lastEffective {
+			continue // the engine clamped this request to a count already measured
+		}
+		lastEffective = effective
+		report.Results = append(report.Results, engineBenchResult{
+			Name: "EngineRound", N: n, Workers: effective, Rounds: rounds, NsPerOp: ns,
+		})
+	}
+	ns, err := benchBroadcastCluster2(n, workers)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, engineBenchResult{
+		Name: "BroadcastCluster2", N: n, Workers: lastEffective, Trials: broadcastTrials, NsPerOp: ns,
+	})
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	os.Stdout.Write(data)
+	if out != "-" {
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchtab: wrote %s\n", out)
 	}
 	return nil
 }

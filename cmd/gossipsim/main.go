@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro"
@@ -33,7 +34,7 @@ func run(args []string) error {
 	delta := fs.Int("delta", 1024, "per-round communication bound (clusterpushpull only)")
 	failures := fs.Int("fail", 0, "number of nodes failed by an oblivious adversary")
 	failSeed := fs.Uint64("failseed", 42, "adversary seed")
-	workers := fs.Int("workers", 1, "simulator goroutines per round")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "simulator engine shards per round (results are identical for any value)")
 	showPhases := fs.Bool("phases", true, "print the per-phase breakdown")
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/phonecall"
 )
@@ -21,11 +22,14 @@ import (
 // ErrNoSource is returned when a broadcast is started without a live source.
 var ErrNoSource = errors.New("baseline: broadcast needs at least one live source node")
 
-// rumorState tracks which nodes hold the rumor.
+// rumorState tracks which nodes hold the rumor. mark is invoked from the
+// engine's delivery callbacks, which run on concurrent shards when the
+// network uses multiple workers; informed[i] is only ever written by node i's
+// own callback, but the live count is shared and therefore atomic.
 type rumorState struct {
 	net      *phonecall.Network
 	informed []bool
-	count    int
+	count    atomic.Int64
 }
 
 func newRumorState(net *phonecall.Network, sources []int) (*rumorState, error) {
@@ -50,7 +54,7 @@ func (s *rumorState) mark(i int) {
 	if !s.informed[i] {
 		s.informed[i] = true
 		if !s.net.IsFailed(i) {
-			s.count++
+			s.count.Add(1)
 		}
 	}
 }
@@ -58,9 +62,9 @@ func (s *rumorState) mark(i int) {
 func (s *rumorState) has(i int) bool { return s.informed[i] }
 
 // liveInformed returns the number of live informed nodes.
-func (s *rumorState) liveInformed() int { return s.count }
+func (s *rumorState) liveInformed() int { return int(s.count.Load()) }
 
-func (s *rumorState) allInformed() bool { return s.count >= s.net.LiveCount() }
+func (s *rumorState) allInformed() bool { return int(s.count.Load()) >= s.net.LiveCount() }
 
 // maxUniformRounds caps the self-terminating baselines at a small multiple of
 // log n.

@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"repro/internal/phonecall"
+)
+
+// EngineRoundDriver builds the canonical round-engine benchmark workload —
+// every node pushes a rumor-sized message to a uniformly random target — and
+// returns a step function that executes one round, plus the engine's
+// effective shard count (which can be lower than requested: small networks
+// run single-shard and very large ones are clamped by the shard memory
+// budget). Both the Go benchmark (BenchmarkEngineRound in bench_test.go) and
+// `benchtab -json` time this same driver, so their numbers stay comparable.
+// The first EngineWarmupRounds steps warm the engine's arena and worker
+// pool; time the steps after them.
+func EngineRoundDriver(n, workers int) (step func(), effectiveWorkers int, err error) {
+	net, err := phonecall.New(phonecall.Config{N: n, Seed: 1, Workers: workers})
+	if err != nil {
+		return nil, 0, err
+	}
+	msg := phonecall.Message{Tag: 1, Rumor: true}
+	intent := func(i int) phonecall.Intent {
+		return phonecall.PushIntent(phonecall.RandomTarget(), msg)
+	}
+	return func() { net.ExecRound(intent, nil, nil) }, net.Workers(), nil
+}
+
+// EngineWarmupRounds is the number of untimed rounds needed to reach the
+// engine's allocation-free steady state (arena growth, pool start-up).
+const EngineWarmupRounds = 2

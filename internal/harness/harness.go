@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -44,7 +45,9 @@ func Algorithms() []Algorithm {
 type Options struct {
 	// PayloadBits is the rumor size b (default phonecall.DefaultPayloadBits).
 	PayloadBits int
-	// Workers is the number of goroutines the simulator may use per round.
+	// Workers is the number of engine shards the simulator uses per round;
+	// values <= 0 default to runtime.GOMAXPROCS(0). Results are identical for
+	// any worker count.
 	Workers int
 	// Delta is the per-round communication bound for AlgoClusterPushPull.
 	Delta int
@@ -63,11 +66,15 @@ func (o Options) delta() int {
 
 // Run executes one algorithm on a fresh network of n nodes.
 func Run(algo Algorithm, n int, seed uint64, opts Options) (trace.Result, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	net, err := phonecall.New(phonecall.Config{
 		N:           n,
 		Seed:        seed,
 		PayloadBits: opts.PayloadBits,
-		Workers:     opts.Workers,
+		Workers:     workers,
 	})
 	if err != nil {
 		return trace.Result{}, fmt.Errorf("harness: %w", err)

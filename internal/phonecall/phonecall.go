@@ -21,7 +21,6 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
-	"sync"
 
 	"repro/internal/rng"
 )
@@ -79,20 +78,22 @@ func RandomTarget() Target { return Target{Random: true} }
 func DirectTarget(id NodeID) Target { return Target{ID: id} }
 
 // Message is the unit of communication. Its size in bits is derived from its
-// content unless Bits is set explicitly.
+// content unless Bits is set explicitly. The field order groups the two
+// single-byte fields so the struct stays at 56 bytes; the engine copies every
+// message twice per round (staging and arena), so its size is hot.
 type Message struct {
-	// Tag is a protocol-defined discriminator.
-	Tag uint8
 	// From is filled in by the engine with the sender's ID.
 	From NodeID
-	// Rumor marks that the message carries the b-bit broadcast payload.
-	Rumor bool
 	// Value carries a counter, size, or coin flip (O(log n) bits).
 	Value uint64
 	// IDs carries node IDs (each O(log n) bits).
 	IDs []NodeID
 	// Bits overrides the computed size when non-zero.
 	Bits int
+	// Tag is a protocol-defined discriminator.
+	Tag uint8
+	// Rumor marks that the message carries the b-bit broadcast payload.
+	Rumor bool
 }
 
 // Intent is a node's initiated communication for one round.
@@ -129,9 +130,9 @@ type Config struct {
 	Seed uint64
 	// PayloadBits is b, the rumor size in bits. Defaults to DefaultPayloadBits.
 	PayloadBits int
-	// Workers is the number of goroutines used to evaluate per-node callbacks.
-	// Values <= 1 mean sequential execution. Results are identical for any
-	// worker count.
+	// Workers is the number of engine shards (goroutines) used per round.
+	// Values <= 1 mean sequential execution; small networks always run on a
+	// single shard. Results are bit-identical for any worker count.
 	Workers int
 }
 
@@ -151,7 +152,9 @@ type Metrics struct {
 	// requests.
 	Bits int64
 	// MaxCommsPerRound is the maximum number of communications any single node
-	// participated in during any single round (the paper's Δ).
+	// participated in during any single round (the paper's Δ). Only live
+	// participants are charged: a call to a failed node is dropped and does
+	// not count as a communication of the dead target.
 	MaxCommsPerRound int
 	// MessagesSent holds, per node index, the number of messages that node sent
 	// (push payloads plus pull responses plus pull requests).
@@ -182,7 +185,7 @@ type Network struct {
 	cfg         Config
 	n           int
 	ids         []NodeID
-	index       map[NodeID]int
+	index       *idTable
 	failed      []bool
 	liveCount   int
 	nodeRNG     []rng.Source
@@ -193,24 +196,52 @@ type Network struct {
 
 	metrics Metrics
 
-	// scratch buffers reused across rounds
-	comms   []int32
-	intents []Intent
-	inbox   [][]Message
-	resp    []Message
-	respOK  []bool
-	respSet []bool
+	// Sharded round engine state (see engine.go). All buffers are sized once
+	// at New and reused across rounds; steady-state rounds do not allocate.
+	nw        int          // effective shard count
+	spans     [][2]int     // node index range [lo,hi) per shard
+	cells     [][]destCell // per-shard destination accounting
+	wstats    []workerStats
+	rangeBase []int32 // arena base offset per shard's node range
+	ops       []op
+	tgt       []int32
+	staged    []Message // pending push payloads, indexed by initiator
+	resp      []Message
+	respOK    []bool
+	inCount   []int32
+	inOff     []int32
+	slab      []Message // the inbox arena: one flat span per receiving node
+	pool      *pool
+	noPulls   bool // this round has no live pulls (fast path)
+
+	// roundMix caches the hash prefix (seed, tag, round) of the stateless
+	// random-target hash; refreshed by ExecRound at the start of each round.
+	roundMix      rng.MixState
+	roundMixRound int
+
+	// Per-round callbacks, published to the pool workers through the pass
+	// channel's happens-before edge.
+	curIntent   func(i int) Intent
+	curResponse func(i int) (Message, bool)
+	curDeliver  func(i int, inbox []Message)
 }
 
 // Validation errors returned by New.
 var (
 	ErrBadSize = errors.New("phonecall: network needs at least 2 nodes")
+	ErrTooBig  = errors.New("phonecall: network exceeds the engine's 2^30 node limit")
 )
 
 // New creates a network of cfg.N nodes with unique random IDs.
 func New(cfg Config) (*Network, error) {
 	if cfg.N < 2 {
 		return nil, fmt.Errorf("%w (got %d)", ErrBadSize, cfg.N)
+	}
+	if cfg.N >= 1<<30 {
+		// The engine stores targets and arena offsets as int32; an inbox
+		// arena holds at most 2 messages per node, so 2N must stay below
+		// 2^31.
+		return nil, fmt.Errorf("%w (got %d)", ErrTooBig, cfg.N)
 	}
 	if cfg.PayloadBits <= 0 {
 		cfg.PayloadBits = DefaultPayloadBits
@@ -224,19 +255,13 @@ func New(cfg Config) (*Network, error) {
 		cfg:         cfg,
 		n:           cfg.N,
 		ids:         make([]NodeID, cfg.N),
-		index:       make(map[NodeID]int, cfg.N),
+		index:       newIDTable(cfg.N),
 		failed:      make([]bool, cfg.N),
 		liveCount:   cfg.N,
 		nodeRNG:     make([]rng.Source, cfg.N),
 		idBits:      max(16, 2*logN),
 		counterBits: logN + 1,
 		tagBits:     8,
-		comms:       make([]int32, cfg.N),
-		intents:     make([]Intent, cfg.N),
-		inbox:       make([][]Message, cfg.N),
-		resp:        make([]Message, cfg.N),
-		respOK:      make([]bool, cfg.N),
-		respSet:     make([]bool, cfg.N),
 	}
 	net.metrics.MessagesSent = make([]int64, cfg.N)
 
@@ -244,14 +269,15 @@ func New(cfg Config) (*Network, error) {
 	for i := 0; i < cfg.N; i++ {
 		for {
 			id := NodeID(idSource.Uint64()>>1) + 1 // non-zero, 63-bit space
-			if _, taken := net.index[id]; !taken {
+			if _, taken := net.index.get(id); !taken {
 				net.ids[i] = id
-				net.index[id] = i
+				net.index.put(id, i)
 				break
 			}
 		}
 		net.nodeRNG[i].Reseed(rng.Mix(cfg.Seed, 0xa11ce, uint64(i)))
 	}
+	net.initEngine(cfg.Workers)
 	return net, nil
 }
 
@@ -275,9 +301,11 @@ func (net *Network) ID(i int) NodeID { return net.ids[i] }
 
 // IndexOf returns the index of a node ID.
 func (net *Network) IndexOf(id NodeID) (int, bool) {
-	i, ok := net.index[id]
-	return i, ok
+	return net.index.get(id)
 }
+
+// Workers returns the effective number of engine shards.
+func (net *Network) Workers() int { return net.nw }
 
 // NodeRNG returns the per-node random stream for local coin flips. The stream
 // is independent of the streams of other nodes and of the engine's contact
@@ -328,185 +356,42 @@ func (net *Network) MessageSize(m Message) int {
 // controlSize is the size of a pull request.
 func (net *Network) controlSize() int { return net.tagBits + net.idBits }
 
-// ExecRound executes one synchronous round.
-//
-// intentOf is invoked once per live node and returns that node's initiated
-// communication. responseOf is invoked at most once per live node that is
-// pulled from and returns the node's address-oblivious response (ok=false
-// means the node does not respond this round). deliver is invoked once per
-// live node that received at least one message, with the node's inbox; inbox
-// slices are only valid during the callback.
-//
-// Any of the callbacks may be nil.
-func (net *Network) ExecRound(
-	intentOf func(i int) Intent,
-	responseOf func(i int) (Message, bool),
-	deliver func(i int, inbox []Message),
-) RoundReport {
-	net.round++
-	roundStartMessages := net.metrics.Messages + net.metrics.ControlMessages
-	roundStartBits := net.metrics.Bits
-
-	// Phase 1: collect intents (parallelizable: callbacks touch only node i).
-	intents := net.intents
-	for i := range intents {
-		intents[i] = Intent{}
-	}
-	if intentOf != nil {
-		net.forEachLive(func(i int) { intents[i] = intentOf(i) })
-	}
-
-	// Phase 2: resolve contacts, account, and build inboxes (sequential; cheap).
-	comms := net.comms
-	for i := range comms {
-		comms[i] = 0
-	}
-	inbox := net.inbox
-	for i := range inbox {
-		inbox[i] = inbox[i][:0]
-	}
-	for i := range net.resp {
-		net.respSet[i] = false
-		net.respOK[i] = false
-	}
-
-	for i := 0; i < net.n; i++ {
-		it := intents[i]
-		if it.Kind == None || net.failed[i] {
-			continue
-		}
-		j, ok := net.resolveTarget(i, it.Target)
-		comms[i]++
-		targetLive := ok && !net.failed[j]
-		if ok {
-			comms[j]++
-		}
-		switch it.Kind {
-		case Push:
-			msg := it.Payload
-			msg.From = net.ids[i]
-			size := net.MessageSize(msg)
-			net.metrics.Messages++
-			net.metrics.Bits += int64(size)
-			net.metrics.MessagesSent[i]++
-			if targetLive {
-				inbox[j] = append(inbox[j], msg)
-			}
-		case Pull, Exchange:
-			if it.Kind == Exchange && it.Payload.HasContent() {
-				msg := it.Payload
-				msg.From = net.ids[i]
-				size := net.MessageSize(msg)
-				net.metrics.Messages++
-				net.metrics.Bits += int64(size)
-				net.metrics.MessagesSent[i]++
-				if targetLive {
-					inbox[j] = append(inbox[j], msg)
-				}
-			} else {
-				net.metrics.ControlMessages++
-				net.metrics.Bits += int64(net.controlSize())
-				net.metrics.MessagesSent[i]++
-			}
-			if targetLive && responseOf != nil {
-				if !net.respSet[j] {
-					net.resp[j], net.respOK[j] = responseOf(j)
-					net.respSet[j] = true
-				}
-				if net.respOK[j] {
-					m := net.resp[j]
-					m.From = net.ids[j]
-					size := net.MessageSize(m)
-					net.metrics.Messages++
-					net.metrics.Bits += int64(size)
-					net.metrics.MessagesSent[j]++
-					inbox[i] = append(inbox[i], m)
-				}
-			}
-		}
-	}
-
-	maxComms := 0
-	for _, c := range comms {
-		if int(c) > maxComms {
-			maxComms = int(c)
-		}
-	}
-	if maxComms > net.metrics.MaxCommsPerRound {
-		net.metrics.MaxCommsPerRound = maxComms
-	}
-
-	// Phase 3: deliver inboxes (parallelizable: callbacks touch only node i).
-	if deliver != nil {
-		net.forEachLive(func(i int) {
-			if len(inbox[i]) > 0 {
-				deliver(i, inbox[i])
-			}
-		})
-	}
-
-	return RoundReport{
-		Round:    net.round,
-		Messages: net.metrics.Messages + net.metrics.ControlMessages - roundStartMessages,
-		Bits:     net.metrics.Bits - roundStartBits,
-		MaxComms: maxComms,
+// refreshRoundMix re-derives the cached random-target hash prefix for the
+// current round. Single-goroutine (coordinator or test) only: the engine
+// passes merely read the cached state.
+func (net *Network) refreshRoundMix() {
+	if net.roundMixRound != net.round {
+		net.roundMix = rng.MixPrefix(net.cfg.Seed, 0xc0ffee, uint64(net.round))
+		net.roundMixRound = net.round
 	}
 }
 
-// resolveTarget maps a target to a node index. Random targets are resolved
-// with a stateless hash of (seed, round, initiator) so that results do not
-// depend on iteration order or worker count.
+// resolveRandom resolves a uniformly random target for the initiator with a
+// stateless hash of (seed, round, initiator), so that results do not depend
+// on iteration order or worker count. The output is bit-identical to
+// rng.BoundedUint64(n, seed, 0xc0ffee, round, initiator, attempt).
+func (net *Network) resolveRandom(initiator int) int {
+	base := net.roundMix.Absorb(uint64(initiator))
+	for attempt := uint64(0); ; attempt++ {
+		j := int(rng.Bounded(base.Absorb(attempt).Finalize(5), uint64(net.n)))
+		if j != initiator {
+			return j
+		}
+	}
+}
+
+// resolveTarget maps a target to a node index.
 func (net *Network) resolveTarget(initiator int, t Target) (int, bool) {
 	if t.Random {
-		for attempt := uint64(0); ; attempt++ {
-			j := int(rng.BoundedUint64(uint64(net.n), net.cfg.Seed, 0xc0ffee, uint64(net.round), uint64(initiator), attempt))
-			if j != initiator {
-				return j, true
-			}
-		}
+		net.refreshRoundMix()
+		return net.resolveRandom(initiator), true
 	}
 	if t.ID == NoNode {
 		return 0, false
 	}
-	j, ok := net.index[t.ID]
+	j, ok := net.index.get(t.ID)
 	if !ok || j == initiator {
 		return j, ok && j != initiator
 	}
 	return j, true
-}
-
-// forEachLive runs fn for every live node index, using cfg.Workers goroutines
-// when configured. fn must only access state owned by its node.
-func (net *Network) forEachLive(fn func(i int)) {
-	workers := net.cfg.Workers
-	if workers <= 1 || net.n < 4096 {
-		for i := 0; i < net.n; i++ {
-			if !net.failed[i] {
-				fn(i)
-			}
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (net.n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > net.n {
-			hi = net.n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				if !net.failed[i] {
-					fn(i)
-				}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 }

@@ -1,0 +1,70 @@
+package phonecall
+
+// idTable maps NodeID to node index. It is an open-addressing hash table with
+// a power-of-two capacity and linear probing, built once at network creation
+// and read-only afterwards, which makes it safe to query concurrently from
+// every engine shard. Replacing the former map[NodeID]int removes both the
+// per-lookup hashing overhead and the map's pointer chasing from the round
+// engine's direct-addressing hot path.
+//
+// The zero NodeID (NoNode) is never inserted, so it doubles as the
+// empty-slot sentinel.
+type idTable struct {
+	mask uint64
+	keys []NodeID
+	vals []int32
+}
+
+// newIDTable returns a table sized for count entries at a load factor of at
+// most 1/2, so probe sequences stay short even in the unlucky tail.
+func newIDTable(count int) *idTable {
+	size := 16
+	for size < 2*count {
+		size <<= 1
+	}
+	return &idTable{
+		mask: uint64(size - 1),
+		keys: make([]NodeID, size),
+		vals: make([]int32, size),
+	}
+}
+
+// hashID mixes a node ID into a table slot. IDs are uniformly random 63-bit
+// values already, but one multiply-xor round keeps probe lengths short even
+// for externally supplied IDs with correlated low bits.
+func (t *idTable) hashID(id NodeID) uint64 {
+	h := uint64(id)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h & t.mask
+}
+
+// put inserts id -> idx. The caller guarantees id is non-zero and not yet
+// present (network construction checks with get first).
+func (t *idTable) put(id NodeID, idx int) {
+	slot := t.hashID(id)
+	for t.keys[slot] != NoNode {
+		slot = (slot + 1) & t.mask
+	}
+	t.keys[slot] = id
+	t.vals[slot] = int32(idx)
+}
+
+// get returns the index stored for id.
+func (t *idTable) get(id NodeID) (int, bool) {
+	if id == NoNode {
+		return 0, false
+	}
+	slot := t.hashID(id)
+	for {
+		k := t.keys[slot]
+		if k == id {
+			return int(t.vals[slot]), true
+		}
+		if k == NoNode {
+			return 0, false
+		}
+		slot = (slot + 1) & t.mask
+	}
+}

@@ -35,13 +35,10 @@ func fmix64(z uint64) uint64 {
 // well-distributed 64-bit value. It is used to derive independent seeds for
 // sub-streams (for example per-node or per-round streams) from a master seed.
 // Every absorbed word passes through a full finalizer so that each input
-// word independently avalanches into the result.
+// word independently avalanches into the result. Mix is defined in terms of
+// MixPrefix/Finalize so the incremental API below cannot drift from it.
 func Mix(values ...uint64) uint64 {
-	state := uint64(0x243f6a8885a308d3) // pi fraction, arbitrary non-zero constant
-	for _, v := range values {
-		state = fmix64(state ^ fmix64(v))
-	}
-	return fmix64(state ^ uint64(len(values)))
+	return MixPrefix(values...).Finalize(len(values))
 }
 
 // Source is a deterministic pseudo-random number generator. The zero value is
@@ -140,10 +137,42 @@ func (r *Source) Perm(n int) []int {
 // the given key values. It is used where parallel workers need per-item
 // randomness that does not depend on evaluation order.
 func BoundedUint64(n uint64, keys ...uint64) uint64 {
+	return Bounded(Mix(keys...), n)
+}
+
+// MixState is a partially absorbed Mix computation. Hot paths that hash many
+// values sharing a common prefix (for example the round engine, which hashes
+// (seed, tag, round, initiator, attempt) once per node per round) absorb the
+// prefix once and reuse the state; the result is bit-identical to calling Mix
+// with the full key sequence.
+type MixState uint64
+
+// MixPrefix absorbs the given values and returns the intermediate state.
+func MixPrefix(values ...uint64) MixState {
+	state := uint64(0x243f6a8885a308d3) // pi fraction, arbitrary non-zero constant
+	for _, v := range values {
+		state = fmix64(state ^ fmix64(v))
+	}
+	return MixState(state)
+}
+
+// Absorb returns the state after absorbing one more value.
+func (s MixState) Absorb(v uint64) MixState {
+	return MixState(fmix64(uint64(s) ^ fmix64(v)))
+}
+
+// Finalize completes the hash. totalWords is the total number of absorbed
+// words (prefix plus Absorb calls), matching Mix's length suffix.
+func (s MixState) Finalize(totalWords int) uint64 {
+	return fmix64(uint64(s) ^ uint64(totalWords))
+}
+
+// Bounded maps a finalized hash uniformly onto [0, n).
+func Bounded(hash, n uint64) uint64 {
 	if n == 0 {
 		return 0
 	}
-	hi, _ := bits.Mul64(Mix(keys...), n)
+	hi, _ := bits.Mul64(hash, n)
 	return hi
 }
 

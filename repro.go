@@ -65,8 +65,9 @@ type Config struct {
 	Seed uint64
 	// PayloadBits is the rumor size b in bits (default 256).
 	PayloadBits int
-	// Workers bounds the number of goroutines used per simulated round
-	// (default 1; results are identical for any value).
+	// Workers is the number of engine shards (goroutines) used per simulated
+	// round; values <= 0 default to runtime.GOMAXPROCS(0). Results are
+	// identical for any value.
 	Workers int
 	// Delta bounds per-round communications for AlgoClusterPushPull
 	// (default 1024, minimum 8).
