@@ -4,13 +4,15 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/failure"
 	"repro/internal/harness"
 	"repro/internal/lowerbound"
 	"repro/internal/phonecall"
+	"repro/internal/scenario"
 )
 
 // The benchmarks below regenerate the measurements behind every experiment
-// table (E1–E7, see DESIGN.md §4 and EXPERIMENTS.md). Each benchmark reports
+// table (E1–E8, see DESIGN.md §4 and EXPERIMENTS.md). Each benchmark reports
 // the relevant figure of merit (rounds, messages per node, bits per payload
 // bit, …) via b.ReportMetric so that `go test -bench=.` reproduces the
 // numbers, not only the wall-clock cost of the simulation.
@@ -200,6 +202,52 @@ func BenchmarkBroadcastCluster2(b *testing.B) {
 	for _, n := range benchSizes() {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			runOnce(b, harness.AlgoCluster2, n, harness.Options{})
+		})
+	}
+}
+
+// BenchmarkScenarioChurn measures the dynamic path end to end: a push-pull
+// broadcast under periodic churn and 5% per-call loss. The workload is
+// shared with `benchtab -json` through harness.ScenarioChurnDriver so the
+// ScenarioChurn entry in BENCH_engine.json stays comparable with this
+// benchmark.
+func BenchmarkScenarioChurn(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			run, rounds := harness.ScenarioChurnDriver(n, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkE8Churn regenerates the E8 figures of merit at a reduced size:
+// the informed fraction of push-pull and cluster2 under a mid-run crash
+// wave plus loss.
+func BenchmarkE8Churn(b *testing.B) {
+	const n = 20000
+	for _, algo := range []harness.Algorithm{harness.AlgoPushPull, harness.AlgoCluster2} {
+		b.Run(string(algo), func(b *testing.B) {
+			var informed float64
+			for i := 0; i < b.N; i++ {
+				seed := uint64(i + 1)
+				wave := failure.Timed{Round: 4, Adversary: failure.Random{Count: n / 10, Seed: seed + 2000}}
+				res, err := harness.Run(algo, n, seed, harness.Options{
+					LossRate: 0.05,
+					LossSeed: seed + 3000,
+					Events:   []scenario.Event{scenario.FromTimed(wave, n)},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				informed += float64(res.Informed) / float64(res.Live)
+			}
+			b.ReportMetric(informed/float64(b.N), "informedFrac")
 		})
 	}
 }

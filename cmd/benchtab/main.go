@@ -1,8 +1,9 @@
-// Command benchtab regenerates the reproduction tables E1–E7 recorded in
-// EXPERIMENTS.md (one table per claim of the paper; see DESIGN.md §4), and
-// with -json benchmarks the simulator engine itself and emits a machine
-// readable BENCH_engine.json so the perf trajectory can be tracked across
-// changes.
+// Command benchtab regenerates the reproduction tables E1–E8 recorded in
+// EXPERIMENTS.md (one table per claim of the paper, plus the E8 dynamic
+// churn sweep; see DESIGN.md §4), and with -json benchmarks the simulator
+// engine itself — the static round engine and the dynamic scenario path —
+// and emits a machine readable BENCH_engine.json so the perf trajectory can
+// be tracked across changes.
 //
 // Example:
 //
@@ -35,7 +36,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
-	experiments := fs.String("experiment", "all", "comma-separated experiment ids (E1..E7) or 'all'")
+	experiments := fs.String("experiment", "all", "comma-separated experiment ids (E1..E8) or 'all'")
 	sizes := fs.String("sizes", "1000,10000,100000", "comma-separated network sizes")
 	seeds := fs.Int("seeds", 3, "number of seeds per configuration")
 	payload := fs.Int("b", 256, "rumor size in bits")
@@ -135,7 +136,8 @@ func benchEngineRound(n, workers, rounds int) (float64, int, error) {
 	return float64(time.Since(start).Nanoseconds()) / float64(rounds), effective, nil
 }
 
-// broadcastTrials is the number of seeds averaged by benchBroadcastCluster2.
+// broadcastTrials is the number of seeds averaged by benchBroadcastCluster2,
+// and the number of repetitions averaged by benchScenarioChurn.
 const broadcastTrials = 3
 
 // benchBroadcastCluster2 measures one full Cluster2 broadcast.
@@ -151,6 +153,24 @@ func benchBroadcastCluster2(n, workers int) (float64, error) {
 		}
 	}
 	return float64(time.Since(start).Nanoseconds()) / broadcastTrials, nil
+}
+
+// benchScenarioChurn measures the dynamic path: a full push-pull broadcast
+// under periodic churn and per-call loss (harness.ScenarioChurnDriver, the
+// same workload as BenchmarkScenarioChurn in bench_test.go). Returns ns per
+// scenario execution and the number of simulated rounds per execution.
+func benchScenarioChurn(n, workers int) (float64, int, error) {
+	run, rounds := harness.ScenarioChurnDriver(n, workers)
+	if err := run(); err != nil { // warm-up, untimed
+		return 0, 0, err
+	}
+	start := time.Now()
+	for t := 0; t < broadcastTrials; t++ {
+		if err := run(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / broadcastTrials, rounds, nil
 }
 
 // runEngineBench benchmarks the round engine and the main algorithm and
@@ -188,6 +208,14 @@ func runEngineBench(n, workers int, out string) error {
 	}
 	report.Results = append(report.Results, engineBenchResult{
 		Name: "BroadcastCluster2", N: n, Workers: lastEffective, Trials: broadcastTrials, NsPerOp: ns,
+	})
+	ns, scenarioRounds, err := benchScenarioChurn(n, workers)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, engineBenchResult{
+		Name: "ScenarioChurn", N: n, Workers: lastEffective, Rounds: scenarioRounds,
+		Trials: broadcastTrials, NsPerOp: ns,
 	})
 
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -14,7 +14,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync/atomic"
 
 	"repro/internal/phonecall"
 )
@@ -25,11 +24,14 @@ var ErrNoSource = errors.New("baseline: broadcast needs at least one live source
 // rumorState tracks which nodes hold the rumor. mark is invoked from the
 // engine's delivery callbacks, which run on concurrent shards when the
 // network uses multiple workers; informed[i] is only ever written by node i's
-// own callback, but the live count is shared and therefore atomic.
+// own callback, so the state is race-free without shared counters. The live
+// counts are computed by scanning between rounds (coordinator side), which
+// keeps them correct when a scenario timeline crashes or revives nodes
+// mid-execution — an incrementally maintained count would go stale the
+// moment an informed node dies.
 type rumorState struct {
 	net      *phonecall.Network
 	informed []bool
-	count    atomic.Int64
 }
 
 func newRumorState(net *phonecall.Network, sources []int) (*rumorState, error) {
@@ -50,21 +52,23 @@ func newRumorState(net *phonecall.Network, sources []int) (*rumorState, error) {
 	return st, nil
 }
 
-func (s *rumorState) mark(i int) {
-	if !s.informed[i] {
-		s.informed[i] = true
-		if !s.net.IsFailed(i) {
-			s.count.Add(1)
-		}
-	}
-}
+func (s *rumorState) mark(i int) { s.informed[i] = true }
 
 func (s *rumorState) has(i int) bool { return s.informed[i] }
 
-// liveInformed returns the number of live informed nodes.
-func (s *rumorState) liveInformed() int { return int(s.count.Load()) }
+// liveInformed returns the number of live informed nodes. Coordinator-only:
+// it scans the informed set and must not race with delivery callbacks.
+func (s *rumorState) liveInformed() int {
+	count := 0
+	for i, informed := range s.informed {
+		if informed && !s.net.IsFailed(i) {
+			count++
+		}
+	}
+	return count
+}
 
-func (s *rumorState) allInformed() bool { return int(s.count.Load()) >= s.net.LiveCount() }
+func (s *rumorState) allInformed() bool { return s.liveInformed() >= s.net.LiveCount() }
 
 // maxUniformRounds caps the self-terminating baselines at a small multiple of
 // log n.

@@ -6,6 +6,8 @@
 package failure
 
 import (
+	"fmt"
+
 	"repro/internal/phonecall"
 	"repro/internal/rng"
 )
@@ -55,6 +57,9 @@ func (b Block) Name() string { return "block" }
 // Select implements Adversary.
 func (b Block) Select(n int) []int {
 	count := b.Count
+	if count <= 0 || n <= 0 {
+		return nil
+	}
 	if count > n {
 		count = n
 	}
@@ -106,6 +111,26 @@ func (s Strided) Select(n int) []int {
 	}
 	return out
 }
+
+// Timed pairs an oblivious adversary with the round at which it strikes,
+// turning any start-time adversary into a timed crash wave: the selection is
+// still made obliviously (before the execution, independent of the
+// algorithm's randomness), only its injection is deferred. The scenario
+// subsystem converts it into a CrashAt timeline event (scenario.FromTimed).
+//
+// Timed deliberately does NOT implement Adversary: a timed wave handed to a
+// start-time seam (failure.Apply, harness.Options.Adversary) would strike
+// before round 0 and silently ignore Round — making that mistake a compile
+// error is the guard.
+type Timed struct {
+	// Round is the 1-based engine round at the start of which the selected
+	// nodes crash; values <= 1 strike before any communication.
+	Round     int
+	Adversary Adversary
+}
+
+// Name identifies the timed wave in experiment tables.
+func (t Timed) Name() string { return fmt.Sprintf("%s@r%d", t.Adversary.Name(), t.Round) }
 
 // Apply fails the adversary's selection on the network and returns the failed
 // indexes.

@@ -45,8 +45,69 @@ func TestRandomAdversaryDegenerate(t *testing.T) {
 	if sel := (Random{Count: 0, Seed: 1}).Select(10); len(sel) != 0 {
 		t.Fatal("count 0 should select nothing")
 	}
+	if sel := (Random{Count: -3, Seed: 1}).Select(10); len(sel) != 0 {
+		t.Fatal("negative count should select nothing")
+	}
 	if sel := (Random{Count: 50, Seed: 1}).Select(10); len(sel) != 10 {
 		t.Fatalf("count beyond n should clamp to n, got %d", len(sel))
+	}
+	if sel := (Random{Count: 5, Seed: 1}).Select(0); len(sel) != 0 {
+		t.Fatal("empty network should select nothing")
+	}
+}
+
+func TestBlockAdversaryDegenerate(t *testing.T) {
+	if sel := (Block{Count: 0}).Select(10); len(sel) != 0 {
+		t.Fatal("count 0 should select nothing")
+	}
+	// Regression: Count < 0 used to panic in make([]int, 0, count).
+	if sel := (Block{Count: -1}).Select(10); len(sel) != 0 {
+		t.Fatal("negative count should select nothing")
+	}
+	if sel := (Block{Count: 3}).Select(0); len(sel) != 0 {
+		t.Fatal("empty network should select nothing")
+	}
+}
+
+// TestFailDuplicateIndexes pins that duplicate (and repeated) Fail calls
+// decrement the live count exactly once per distinct node, and that LiveCount
+// stays consistent across interleaved Fail/Revive sequences.
+func TestFailDuplicateIndexes(t *testing.T) {
+	net := newNet(t, 20)
+	net.Fail(4, 4, 4, 7, 7)
+	if got := net.LiveCount(); got != 18 {
+		t.Fatalf("LiveCount after duplicate Fail = %d, want 18", got)
+	}
+	net.Fail(4, 7) // repeated call, same nodes
+	if got := net.LiveCount(); got != 18 {
+		t.Fatalf("LiveCount after repeated Fail = %d, want 18", got)
+	}
+	net.Fail(-1, 20, 100) // out of range: ignored
+	if got := net.LiveCount(); got != 18 {
+		t.Fatalf("LiveCount after out-of-range Fail = %d, want 18", got)
+	}
+	for i := 0; i < 5; i++ {
+		net.Fail(i)
+	}
+	if got := net.LiveCount(); got != 14 {
+		t.Fatalf("LiveCount after repeated single Fails = %d, want 14 (nodes 0..4,7)", got)
+	}
+	net.Revive(4)
+	net.Fail(4)
+	if got := net.LiveCount(); got != 14 {
+		t.Fatalf("LiveCount after revive+refail = %d, want 14", got)
+	}
+}
+
+func TestTimedAdversary(t *testing.T) {
+	adv := Timed{Round: 5, Adversary: Random{Count: 10, Seed: 3}}
+	if adv.Name() != "random@r5" {
+		t.Fatalf("Name = %q", adv.Name())
+	}
+	// Timed must NOT satisfy Adversary: handing a timed wave to a start-time
+	// seam would silently strike at round 0.
+	if _, ok := any(adv).(Adversary); ok {
+		t.Fatal("Timed implements Adversary; timed waves must not be usable as start-time adversaries")
 	}
 }
 

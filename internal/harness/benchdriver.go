@@ -1,7 +1,11 @@
 package harness
 
 import (
+	"fmt"
+	"math/bits"
+
 	"repro/internal/phonecall"
+	"repro/internal/scenario"
 )
 
 // EngineRoundDriver builds the canonical round-engine benchmark workload —
@@ -28,3 +32,36 @@ func EngineRoundDriver(n, workers int) (step func(), effectiveWorkers int, err e
 // EngineWarmupRounds is the number of untimed rounds needed to reach the
 // engine's allocation-free steady state (arena growth, pool start-up).
 const EngineWarmupRounds = 2
+
+// ScenarioChurnDriver builds the canonical dynamic-path benchmark: a
+// push-pull broadcast under periodic churn (2% of the network crashing every
+// 6 rounds, rejoining 4 rounds later) and 5% per-call loss, for 2·log₂ n +
+// 16 rounds. Both BenchmarkScenarioChurn (bench_test.go) and `benchtab
+// -json` time this same driver, so the dynamic path's perf trajectory stays
+// comparable across tools. The returned run function executes the whole
+// scenario once and verifies the rumor actually spread.
+func ScenarioChurnDriver(n, workers int) (run func() error, rounds int) {
+	rounds = 2*bits.Len(uint(n)) + 16
+	events := append(
+		scenario.PeriodicChurn(n, 4, 6, n/50, 4, rounds, 21),
+		scenario.InjectRumor{At: 1, Node: 0, Rumor: 0},
+		scenario.Loss{At: 1, Rate: 0.05, Seed: 7},
+	)
+	sc := scenario.Scenario{
+		Name:      "bench churn",
+		N:         n,
+		Rounds:    rounds,
+		Algorithm: scenario.AlgoPushPull,
+		Events:    events,
+	}
+	return func() error {
+		res, err := scenario.Run(sc, scenario.Config{Seed: 1, Workers: workers})
+		if err != nil {
+			return err
+		}
+		if frac := res.MinLiveFraction(); frac < 0.5 {
+			return fmt.Errorf("scenario churn benchmark informed only %.2f of live nodes", frac)
+		}
+		return nil
+	}, rounds
+}

@@ -1,8 +1,8 @@
-// Package harness runs the reproduction experiments E1–E7 defined in
+// Package harness runs the reproduction experiments E1–E8 defined in
 // DESIGN.md: it executes the paper's algorithms and the baselines across
-// sweeps of network sizes, seeds, Δ values and failure counts, aggregates the
-// round-, message- and bit-complexities, and renders the tables recorded in
-// EXPERIMENTS.md.
+// sweeps of network sizes, seeds, Δ values, failure counts and dynamic churn
+// scenarios, aggregates the round-, message- and bit-complexities, and
+// renders the tables recorded in EXPERIMENTS.md.
 package harness
 
 import (
@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/phonecall"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -53,6 +54,16 @@ type Options struct {
 	Delta int
 	// Adversary, when non-nil, fails nodes before the execution starts.
 	Adversary failure.Adversary
+	// Events, when non-empty, is a scenario timeline (crash waves, rejoins,
+	// loss changes) applied between rounds while the algorithm executes —
+	// mid-run dynamics for any algorithm, closed or not. InjectRumor events
+	// are not supported here (closed algorithms have no rumor tracker).
+	Events []scenario.Event
+	// LossRate, when positive, drops every call independently with this
+	// probability from round 1 on (oblivious per-call loss, charged per the
+	// live-participant rule). LossSeed drives the drop decisions.
+	LossRate float64
+	LossSeed uint64
 	// Params tunes the paper's algorithms.
 	Params core.Params
 }
@@ -82,12 +93,42 @@ func Run(algo Algorithm, n int, seed uint64, opts Options) (trace.Result, error)
 	if opts.Adversary != nil {
 		failure.Apply(net, opts.Adversary)
 	}
+	if opts.LossRate > 0 {
+		net.SetLoss(opts.LossRate, opts.LossSeed)
+	}
+	var tl *scenario.Timeline
+	if len(opts.Events) > 0 {
+		tl = scenario.NewTimeline(opts.Events...)
+		tl.Attach(net)
+	}
 	source, ok := failure.SurvivingSource(net, 0)
 	if !ok {
 		return trace.Result{}, fmt.Errorf("harness: all nodes failed")
 	}
 	sources := []int{source}
 
+	res, err := dispatch(algo, net, sources, opts)
+	if err != nil {
+		return trace.Result{}, err
+	}
+	if tl != nil {
+		if tl.Err() != nil {
+			return trace.Result{}, fmt.Errorf("harness: timeline: %w", tl.Err())
+		}
+		// An event scheduled past the algorithm's last round never fired; a
+		// "clean" result that silently skipped the requested dynamics would
+		// be indistinguishable from surviving them.
+		if rem := tl.Remaining(); rem > 0 {
+			return trace.Result{}, fmt.Errorf(
+				"harness: %d timeline event(s) scheduled after the algorithm's final round (%d) never fired",
+				rem, res.Rounds)
+		}
+	}
+	return res, nil
+}
+
+// dispatch runs the selected algorithm on the prepared network.
+func dispatch(algo Algorithm, net *phonecall.Network, sources []int, opts Options) (trace.Result, error) {
 	switch algo {
 	case AlgoPush:
 		return baseline.Push(net, sources)

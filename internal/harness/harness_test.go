@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/failure"
+	"repro/internal/scenario"
 )
 
 func smallSweep() SweepConfig {
@@ -125,9 +126,115 @@ func TestExperimentE6SmallSweep(t *testing.T) {
 	}
 }
 
+func TestRunWithTimedCrashWave(t *testing.T) {
+	// A mid-execution crash wave under a closed algorithm: the wave fires at
+	// round 4 while cluster2 is building its clustering. Live count must
+	// reflect the wave and the informed count must stay consistent
+	// (0 <= informed <= live).
+	wave := failure.Timed{Round: 4, Adversary: failure.Random{Count: 500, Seed: 9}}
+	res, err := Run(AlgoCluster2, 5000, 3, Options{
+		Events: []scenario.Event{scenario.FromTimed(wave, 5000)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Live != 4500 {
+		t.Fatalf("live = %d, want 4500 after the wave", res.Live)
+	}
+	if res.Informed < 0 || res.Informed > res.Live {
+		t.Fatalf("informed = %d out of range [0,%d]", res.Informed, res.Live)
+	}
+	if res.UninformedSurvivors() < 0 {
+		t.Fatalf("negative uninformed survivors: %d", res.UninformedSurvivors())
+	}
+}
+
+func TestRunWithLoss(t *testing.T) {
+	clean, err := Run(AlgoPushPull, 2000, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := Run(AlgoPushPull, 2000, 1, Options{LossRate: 0.3, LossSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.CompletionRound <= clean.CompletionRound {
+		t.Fatalf("30%% loss did not slow push-pull: %d vs %d rounds",
+			lossy.CompletionRound, clean.CompletionRound)
+	}
+}
+
+func TestRunRejectsNeverFiredEvents(t *testing.T) {
+	// Push-pull at n=500 finishes its fixed budget well before round 500; an
+	// event scheduled there can never fire, and silently skipping the
+	// requested dynamics must not look like surviving them.
+	wave := failure.Timed{Round: 500, Adversary: failure.Random{Count: 50, Seed: 9}}
+	_, err := Run(AlgoPushPull, 500, 1, Options{
+		Events: []scenario.Event{scenario.FromTimed(wave, 500)},
+	})
+	if err == nil {
+		t.Fatal("a timeline event scheduled past the final round should error, not be dropped")
+	}
+}
+
+func TestRunRejectsInjectUnderClosedAlgorithm(t *testing.T) {
+	_, err := Run(AlgoPushPull, 500, 1, Options{
+		Events: []scenario.Event{scenario.InjectRumor{At: 1, Node: 0, Rumor: 0}},
+	})
+	if err == nil {
+		t.Fatal("InjectRumor under a closed algorithm should error")
+	}
+}
+
+func TestRunScenarioAndAggregate(t *testing.T) {
+	sc := scenario.Scenario{
+		Name:   "test churn",
+		N:      1000,
+		Rounds: 30,
+		Events: []scenario.Event{
+			scenario.InjectRumor{At: 1, Node: 0, Rumor: 0},
+			scenario.CrashAt{At: 6, Nodes: failure.Random{Count: 100, Seed: 5}.Select(1000)},
+		},
+	}
+	results, err := RunScenario(sc, []uint64{1, 2}, scenario.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Seed != 1 || results[1].Seed != 2 {
+		t.Fatalf("per-seed results wrong: %+v", results)
+	}
+	row, err := AggregateScenario(sc, []uint64{1, 2}, scenario.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Trials != 2 || row.Algorithm != scenario.AlgoPushPull {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.InformedFraction.Min < 0.9 {
+		t.Fatalf("push-pull under a single wave informed only %v", row.InformedFraction)
+	}
+}
+
+func TestExperimentE8SmallSweep(t *testing.T) {
+	cfg := SweepConfig{Sizes: []int{2000}, Seeds: []uint64{1}}
+	tbl, err := RunExperiment("E8", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 crash fractions × 3 loss rates × 3 algorithms.
+	if len(tbl.Rows) != 27 {
+		t.Fatalf("E8 rows = %d, want 27", len(tbl.Rows))
+	}
+	// The lossless, crash-free push-pull row must report full coverage.
+	first := tbl.Rows[0]
+	if first[0] != "0.00" || first[1] != "0.00" || first[3] != "1.000" {
+		t.Fatalf("baseline E8 row unexpected: %v", first)
+	}
+}
+
 func TestExperimentIDsDispatch(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 7 {
-		t.Fatalf("want 7 experiments, got %v", ids)
+	if len(ids) != 8 {
+		t.Fatalf("want 8 experiments, got %v", ids)
 	}
 }

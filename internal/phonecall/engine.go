@@ -221,6 +221,12 @@ func (net *Network) ExecRound(
 	deliver func(i int, inbox []Message),
 ) RoundReport {
 	net.round++
+	if net.roundHook != nil {
+		// Scenario hook: may Fail, Revive or SetLoss before this round's
+		// intents are evaluated (coordinator goroutine, so those mutations
+		// happen-before every pass).
+		net.roundHook(net.round)
+	}
 	if intentOf == nil {
 		// No initiator means an empty round: nothing is sent, charged or
 		// delivered.
@@ -231,6 +237,9 @@ func (net *Network) ExecRound(
 	net.curResponse = responseOf
 	net.curDeliver = deliver
 	net.refreshRoundMix()
+	if net.lossRate > 0 {
+		net.refreshLossMix()
+	}
 
 	net.runParallel(pIntents)
 	pulls := int64(0)
@@ -328,8 +337,13 @@ func (net *Network) passIntents(w, lo, hi int) {
 		cells[i].comms++
 		// Δ accounting (the paper's MaxCommsPerRound): only live nodes
 		// participate in a communication — a failed target drops the call, so
-		// it is not charged (Section 8 failure model).
+		// it is not charged (Section 8 failure model). A call lost in transit
+		// (SetLoss) follows the same rule: the initiator attempted, the
+		// target never participated.
 		live := ok && !net.failed[j]
+		if live && net.lossRate > 0 && net.dropCall(i) {
+			live = false
+		}
 		if live {
 			cells[j].comms++
 			net.tgt[i] = int32(j)

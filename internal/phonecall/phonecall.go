@@ -219,6 +219,17 @@ type Network struct {
 	roundMix      rng.MixState
 	roundMixRound int
 
+	// Oblivious per-call loss (SetLoss). lossMix caches the (lossSeed, tag,
+	// round) hash prefix of the stateless drop decision, like roundMix.
+	lossRate     float64
+	lossSeed     uint64
+	lossMix      rng.MixState
+	lossMixRound int
+
+	// roundHook, when set, runs at the start of every ExecRound before any
+	// intent is evaluated (OnRoundStart).
+	roundHook func(round int)
+
 	// Per-round callbacks, published to the pool workers through the pass
 	// channel's happens-before edge.
 	curIntent   func(i int) Intent
@@ -313,9 +324,14 @@ func (net *Network) Workers() int { return net.nw }
 func (net *Network) NodeRNG(i int) *rng.Source { return &net.nodeRNG[i] }
 
 // Fail marks the given node indexes as failed. Failed nodes never initiate,
-// never respond, and drop messages addressed to them. Matching the paper's
-// oblivious-adversary model, failures should be injected before the protocol
-// starts.
+// never respond, and drop messages addressed to them. The paper's oblivious
+// adversary (Section 8) fails nodes before the protocol starts; dynamic
+// scenarios (internal/scenario) may also call Fail between rounds — a node
+// failed after round r is dead from round r+1 on: its next-round intent is
+// never evaluated and calls addressed to it are dropped without charging it.
+// Out-of-range and already-failed indexes are ignored, so duplicate indexes
+// decrement the live count only once. Must not be called while a round is
+// executing (use an OnRoundStart hook to inject failures between rounds).
 func (net *Network) Fail(indexes ...int) {
 	for _, i := range indexes {
 		if i >= 0 && i < net.n && !net.failed[i] {
@@ -325,8 +341,56 @@ func (net *Network) Fail(indexes ...int) {
 	}
 }
 
+// Revive marks the given failed node indexes as live again. A revived node
+// rejoins the network with whatever protocol state it had — dynamic scenarios
+// that model rejoin-as-uninformed reset the protocol state separately (see
+// RumorTracker.Revive). Out-of-range and live indexes are ignored. Like Fail,
+// Revive must only be called between rounds.
+func (net *Network) Revive(indexes ...int) {
+	for _, i := range indexes {
+		if i >= 0 && i < net.n && net.failed[i] {
+			net.failed[i] = false
+			net.liveCount++
+		}
+	}
+}
+
 // IsFailed reports whether node i is failed.
 func (net *Network) IsFailed(i int) bool { return net.failed[i] }
+
+// SetLoss configures oblivious per-call message loss: from the next round on,
+// every initiated call is independently dropped with probability rate. A
+// dropped call behaves exactly like a call to a failed node (the
+// live-participant rule of DESIGN.md §2): the initiator is still charged for
+// what it sent, the target never participates — it receives nothing, is not
+// charged a communication, and a pull gets no response.
+//
+// Drops are a stateless hash of (lossSeed, round, initiator), independent of
+// the execution seed (the loss process is oblivious to the algorithm's
+// randomness) and of the worker count. rate is clamped to [0, 1]; rate 0
+// disables loss. Must only be called between rounds.
+func (net *Network) SetLoss(rate float64, seed uint64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	net.lossRate = rate
+	net.lossSeed = seed
+	net.lossMixRound = -1
+}
+
+// LossRate returns the per-call drop probability currently in effect.
+func (net *Network) LossRate() float64 { return net.lossRate }
+
+// OnRoundStart registers a hook invoked by ExecRound after the round counter
+// advances and before any intent is evaluated. The hook runs on the
+// coordinator goroutine, so it may safely mutate network state that is
+// read-only during passes: Fail, Revive and SetLoss. This is the seam the
+// scenario subsystem uses to drive timed churn and loss under any protocol
+// without changing the per-node callback contract. A nil hook unregisters.
+func (net *Network) OnRoundStart(hook func(round int)) { net.roundHook = hook }
 
 // Round returns the number of rounds executed so far.
 func (net *Network) Round() int { return net.round }
@@ -378,6 +442,24 @@ func (net *Network) resolveRandom(initiator int) int {
 			return j
 		}
 	}
+}
+
+// refreshLossMix re-derives the cached drop-decision hash prefix for the
+// current round. Coordinator-only, like refreshRoundMix.
+func (net *Network) refreshLossMix() {
+	if net.lossMixRound != net.round {
+		net.lossMix = rng.MixPrefix(net.lossSeed, 0x70ca1, uint64(net.round))
+		net.lossMixRound = net.round
+	}
+}
+
+// dropCall reports whether the initiator's call this round is lost. The
+// decision is a stateless hash of (lossSeed, round, initiator) compared
+// against the loss rate with Float64 precision, so it is bit-identical for
+// any worker count and evaluation order. Only called when lossRate > 0.
+func (net *Network) dropCall(initiator int) bool {
+	h := net.lossMix.Absorb(uint64(initiator)).Finalize(4)
+	return float64(h>>11)/float64(1<<53) < net.lossRate
 }
 
 // resolveTarget maps a target to a node index.

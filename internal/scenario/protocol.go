@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/phonecall"
+)
+
+// The steppable protocols: multi-rumor generalizations of the classical
+// uniform gossip protocols, expressed directly through the engine's per-node
+// callback contract so the scenario driver can interleave timeline events
+// between rounds. A node's holdings are a single uint64 bitmask (one bit per
+// rumor, see phonecall.RumorTracker); a message carries the sender's whole
+// holdings and is charged one payload per carried rumor.
+//
+// The paper's clustering algorithms are phase-structured, closed drivers and
+// are not steppable; they run under scenarios through Timeline.Attach
+// instead (churn and loss, single implicit rumor).
+
+// Algorithm selects a steppable scenario protocol.
+type Algorithm string
+
+// The steppable protocols.
+const (
+	// AlgoPush: every node holding at least one rumor pushes its holdings to
+	// a uniformly random node; empty nodes stay silent.
+	AlgoPush Algorithm = "push"
+	// AlgoPull: every node missing at least one injected rumor pulls from a
+	// uniformly random node (anti-entropy); the responder answers with its
+	// holdings.
+	AlgoPull Algorithm = "pull"
+	// AlgoPushPull: every node exchanges with a uniformly random node,
+	// sending its holdings (if any) and receiving the callee's.
+	AlgoPushPull Algorithm = "push-pull"
+)
+
+// Algorithms lists the steppable protocols in comparison order.
+func Algorithms() []Algorithm { return []Algorithm{AlgoPush, AlgoPull, AlgoPushPull} }
+
+// orDefault resolves the empty algorithm to the default and rejects unknown
+// names.
+func (a Algorithm) orDefault() (Algorithm, error) {
+	switch a {
+	case "":
+		return AlgoPushPull, nil
+	case AlgoPush, AlgoPull, AlgoPushPull:
+		return a, nil
+	default:
+		return "", fmt.Errorf("scenario: unknown algorithm %q (have push, pull, push-pull)", a)
+	}
+}
+
+// tagRumorSet marks messages whose Value is a holdings bitmask.
+const tagRumorSet uint8 = 111
+
+// protocol binds one steppable protocol to a network and tracker.
+type protocol struct {
+	algo     Algorithm
+	net      *phonecall.Network
+	tr       *phonecall.RumorTracker
+	overhead int // bits charged for the non-payload part of a holdings message
+}
+
+func newProtocol(algo Algorithm, net *phonecall.Network, tr *phonecall.RumorTracker) *protocol {
+	return &protocol{
+		algo: algo,
+		net:  net,
+		tr:   tr,
+		// Tag and counter bits, as the engine would charge a payload-free
+		// message; each carried rumor then adds one b-bit payload.
+		overhead: net.MessageSize(phonecall.Message{Tag: tagRumorSet}),
+	}
+}
+
+// message encodes a holdings bitmask, charged one payload per carried rumor.
+func (p *protocol) message(held uint64) phonecall.Message {
+	return phonecall.Message{
+		Tag:   tagRumorSet,
+		Value: held,
+		Rumor: true,
+		Bits:  p.overhead + bits.OnesCount64(held)*p.net.PayloadBits(),
+	}
+}
+
+// intent implements the per-node initiation of the selected protocol. Reads
+// only node i's own holdings word plus the coordinator-written registered
+// mask, per the engine's callback contract.
+func (p *protocol) intent(i int) phonecall.Intent {
+	held := p.tr.Held(i)
+	switch p.algo {
+	case AlgoPush:
+		if held == 0 {
+			return phonecall.Silent()
+		}
+		return phonecall.PushIntent(phonecall.RandomTarget(), p.message(held))
+	case AlgoPull:
+		if held == p.tr.Registered() {
+			// Holds every rumor injected so far: nothing left to ask for.
+			return phonecall.Silent()
+		}
+		return phonecall.PullIntent(phonecall.RandomTarget())
+	default: // AlgoPushPull
+		if held == 0 {
+			return phonecall.ExchangeIntent(phonecall.RandomTarget(), phonecall.Message{})
+		}
+		return phonecall.ExchangeIntent(phonecall.RandomTarget(), p.message(held))
+	}
+}
+
+// response answers pulls with the responder's holdings (address-oblivious:
+// one response per round, handed to every puller).
+func (p *protocol) response(j int) (phonecall.Message, bool) {
+	if p.algo == AlgoPush {
+		return phonecall.Message{}, false
+	}
+	held := p.tr.Held(j)
+	if held == 0 {
+		return phonecall.Message{}, false
+	}
+	return p.message(held), true
+}
+
+// deliver merges every received holdings mask into the receiver's own.
+func (p *protocol) deliver(i int, inbox []phonecall.Message) {
+	var mask uint64
+	for _, m := range inbox {
+		if m.Tag == tagRumorSet {
+			mask |= m.Value
+		}
+	}
+	if mask != 0 {
+		p.tr.MarkSet(i, mask)
+	}
+}

@@ -1,0 +1,487 @@
+// Package scenario implements deterministic, timeline-driven dynamic-network
+// scenarios on top of the phone-call simulator: timed crash waves and
+// rejoins (churn), oblivious per-call message loss, and multi-rumor
+// workloads. The paper's model (and the repository's E1–E7 experiments) is
+// static — an oblivious adversary picks its victims before round 0 — whereas
+// real gossip deployments live under continuous membership churn and loss;
+// this package is what lets the reproduction measure how the paper's
+// algorithms and the baselines behave under exactly those dynamics.
+//
+// A Scenario is a typed event timeline (CrashAt, JoinAt, Loss, InjectRumor)
+// over a fixed round budget. It can be executed two ways:
+//
+//   - Run drives one of the round-steppable multi-rumor gossip protocols
+//     (push, pull, push-pull) and returns a per-phase trace — the full
+//     dynamic workload, including rejoin-as-uninformed and several rumors
+//     spreading concurrently.
+//   - Timeline.Attach layers the same churn and loss events under ANY
+//     existing protocol (the paper's clustering algorithms, the baselines)
+//     through the engine's OnRoundStart hook, without changing the per-node
+//     callback contract. InjectRumor events need a tracker and are the one
+//     event kind a closed algorithm cannot honor.
+//
+// Determinism contract: everything is a pure function of (scenario, seed).
+// Events fire on the coordinator goroutine between rounds; random targets
+// and loss drops are stateless hashes; the steppable protocols keep no
+// shared mutable state beyond the engine's contract. Results are therefore
+// bit-identical for any Workers value (locked in by the package tests), and
+// scenarios compose with `-race` cleanly.
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/failure"
+	"repro/internal/phonecall"
+)
+
+// Event is one timeline entry. An event with EventRound() == r is applied at
+// the start of engine round r (1-based, before any intent of that round is
+// evaluated); values <= 1 apply before any communication at all.
+type Event interface {
+	// EventRound is the 1-based engine round at whose start the event fires.
+	EventRound() int
+	// Describe renders the event for per-phase traces.
+	Describe() string
+	// Apply executes the event against the network. tr may be nil when the
+	// timeline runs under a closed (non-scenario-aware) protocol; events
+	// that need per-rumor state return an error in that case.
+	Apply(net *phonecall.Network, tr *phonecall.RumorTracker) error
+}
+
+// CrashAt fails the listed nodes at the start of round At. Crashed nodes
+// stop initiating, stop responding and drop everything addressed to them;
+// per the live-participant rule they are charged nothing from then on.
+type CrashAt struct {
+	At    int
+	Nodes []int
+}
+
+// EventRound implements Event.
+func (e CrashAt) EventRound() int { return e.At }
+
+// Describe implements Event.
+func (e CrashAt) Describe() string { return fmt.Sprintf("crash %d nodes", len(e.Nodes)) }
+
+// Apply implements Event.
+func (e CrashAt) Apply(net *phonecall.Network, tr *phonecall.RumorTracker) error {
+	if tr != nil {
+		tr.Fail(e.Nodes...)
+	} else {
+		net.Fail(e.Nodes...)
+	}
+	return nil
+}
+
+// JoinAt revives (or late-starts) the listed nodes at the start of round At.
+// Under the scenario driver a joining node starts uninformed — it forgets
+// every rumor it held before crashing. Under a closed protocol (Timeline
+// without tracker) the node rejoins with whatever protocol state it had,
+// which models a process that was partitioned away rather than restarted.
+type JoinAt struct {
+	At    int
+	Nodes []int
+}
+
+// EventRound implements Event.
+func (e JoinAt) EventRound() int { return e.At }
+
+// Describe implements Event.
+func (e JoinAt) Describe() string { return fmt.Sprintf("join %d nodes", len(e.Nodes)) }
+
+// Apply implements Event.
+func (e JoinAt) Apply(net *phonecall.Network, tr *phonecall.RumorTracker) error {
+	if tr != nil {
+		tr.Revive(e.Nodes...)
+	} else {
+		net.Revive(e.Nodes...)
+	}
+	return nil
+}
+
+// Loss sets the oblivious per-call drop probability from round At on. Drops
+// are charged per the live-participant rule (DESIGN.md §2): the initiator
+// pays for its attempt, the target never participates. Rate 0 switches loss
+// off again.
+type Loss struct {
+	At   int
+	Rate float64
+	Seed uint64
+}
+
+// EventRound implements Event.
+func (e Loss) EventRound() int { return e.At }
+
+// Describe implements Event.
+func (e Loss) Describe() string { return fmt.Sprintf("loss rate %.2f", e.Rate) }
+
+// Apply implements Event.
+func (e Loss) Apply(net *phonecall.Network, tr *phonecall.RumorTracker) error {
+	net.SetLoss(e.Rate, e.Seed)
+	return nil
+}
+
+// InjectRumor hands rumor Rumor to node Node at the start of round At —
+// multi-rumor workloads inject different rumors at different nodes and
+// times. Requires the scenario driver (a closed algorithm has no per-rumor
+// state to inject into).
+type InjectRumor struct {
+	At    int
+	Node  int
+	Rumor phonecall.RumorID
+}
+
+// EventRound implements Event.
+func (e InjectRumor) EventRound() int { return e.At }
+
+// Describe implements Event.
+func (e InjectRumor) Describe() string {
+	return fmt.Sprintf("inject rumor %d at node %d", e.Rumor, e.Node)
+}
+
+// Apply implements Event.
+func (e InjectRumor) Apply(net *phonecall.Network, tr *phonecall.RumorTracker) error {
+	if tr == nil {
+		return fmt.Errorf("scenario: InjectRumor needs the scenario driver (closed protocols have no rumor tracker)")
+	}
+	return tr.Inject(e.Node, e.Rumor)
+}
+
+// FromTimed converts a timed oblivious adversary (internal/failure) into a
+// CrashAt event, so every existing start-time adversary becomes a timed
+// crash wave on a scenario timeline.
+func FromTimed(t failure.Timed, n int) CrashAt {
+	return CrashAt{At: t.Round, Nodes: t.Adversary.Select(n)}
+}
+
+// sortEvents returns a copy of events stably sorted by round, preserving the
+// declaration order of same-round events (so Loss-then-Inject at round 1
+// applies in that order).
+func sortEvents(events []Event) []Event {
+	out := append([]Event(nil), events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].EventRound() < out[j].EventRound() })
+	return out
+}
+
+// Timeline applies a sorted event sequence to a network as rounds execute,
+// through the engine's OnRoundStart hook. It is the adapter that layers
+// churn and loss under closed protocols (the paper's algorithms, the
+// baselines) without touching their code.
+type Timeline struct {
+	events  []Event
+	next    int
+	tracker *phonecall.RumorTracker
+	err     error
+}
+
+// NewTimeline builds a timeline from the events (stably sorted by round).
+func NewTimeline(events ...Event) *Timeline {
+	return &Timeline{events: sortEvents(events)}
+}
+
+// WithTracker routes crash/join/inject events through a rumor tracker so the
+// per-rumor live counters stay consistent. Returns the timeline.
+func (tl *Timeline) WithTracker(tr *phonecall.RumorTracker) *Timeline {
+	tl.tracker = tr
+	return tl
+}
+
+// Attach registers the timeline on the network. Subsequent ExecRound calls
+// fire due events before evaluating intents. Check Err after the run: event
+// application errors (for example InjectRumor without a tracker) stop the
+// timeline but, running inside the engine, cannot abort the protocol.
+func (tl *Timeline) Attach(net *phonecall.Network) {
+	net.OnRoundStart(func(round int) { tl.advance(net, round) })
+}
+
+// advance applies every event due at or before round.
+func (tl *Timeline) advance(net *phonecall.Network, round int) {
+	for tl.err == nil && tl.next < len(tl.events) && tl.events[tl.next].EventRound() <= round {
+		tl.err = tl.events[tl.next].Apply(net, tl.tracker)
+		tl.next++
+	}
+}
+
+// Err returns the first event-application error, if any.
+func (tl *Timeline) Err() error { return tl.err }
+
+// Remaining returns the number of events that have not fired yet (events
+// scheduled past the rounds actually executed).
+func (tl *Timeline) Remaining() int { return len(tl.events) - tl.next }
+
+// Scenario is a deterministic dynamic-network workload: a network size, a
+// round budget, a steppable protocol, and a typed event timeline.
+type Scenario struct {
+	// Name labels the scenario in traces and tables.
+	Name string
+	// N is the network size (required, >= 2).
+	N int
+	// Rounds is the round budget (required, >= 1). Dynamic workloads have no
+	// global termination — rumors can keep re-spreading to joiners — so the
+	// budget is explicit rather than derived.
+	Rounds int
+	// Algorithm selects the steppable protocol; defaults to AlgoPushPull.
+	Algorithm Algorithm
+	// Events is the timeline. It must inject at least one rumor (a scenario
+	// without rumors measures nothing). Order among same-round events is
+	// preserved.
+	Events []Event
+}
+
+// Validate checks the scenario against the network size and protocol
+// constraints.
+func (sc Scenario) Validate() error {
+	if sc.N < 2 {
+		return fmt.Errorf("scenario: need N >= 2 (got %d)", sc.N)
+	}
+	if sc.Rounds < 1 {
+		return fmt.Errorf("scenario: need Rounds >= 1 (got %d)", sc.Rounds)
+	}
+	if _, err := sc.Algorithm.orDefault(); err != nil {
+		return err
+	}
+	injects := 0
+	for _, ev := range sc.Events {
+		switch e := ev.(type) {
+		case CrashAt:
+			if err := checkNodes(sc.N, e.Nodes); err != nil {
+				return fmt.Errorf("scenario: crash at round %d: %w", e.At, err)
+			}
+		case JoinAt:
+			if err := checkNodes(sc.N, e.Nodes); err != nil {
+				return fmt.Errorf("scenario: join at round %d: %w", e.At, err)
+			}
+		case Loss:
+			if e.Rate < 0 || e.Rate > 1 {
+				return fmt.Errorf("scenario: loss rate %v outside [0,1]", e.Rate)
+			}
+		case InjectRumor:
+			if e.Node < 0 || e.Node >= sc.N {
+				return fmt.Errorf("scenario: inject node %d outside [0,%d)", e.Node, sc.N)
+			}
+			if e.Rumor >= phonecall.MaxRumors {
+				return fmt.Errorf("scenario: rumor id %d outside [0,%d)", e.Rumor, phonecall.MaxRumors)
+			}
+			injects++
+		}
+	}
+	if injects == 0 {
+		return fmt.Errorf("scenario: timeline injects no rumor")
+	}
+	return nil
+}
+
+func checkNodes(n int, nodes []int) error {
+	for _, i := range nodes {
+		if i < 0 || i >= n {
+			return fmt.Errorf("node %d outside [0,%d)", i, n)
+		}
+	}
+	return nil
+}
+
+// Config carries the execution parameters that are not part of the scenario
+// itself.
+type Config struct {
+	// Seed drives the execution (node IDs, random targets). Independent of
+	// any event seeds, which stay oblivious to it.
+	Seed uint64
+	// PayloadBits is the per-rumor payload size b (default 256).
+	PayloadBits int
+	// Workers is the engine shard count; <= 0 defaults to GOMAXPROCS.
+	// Results are bit-identical for any value.
+	Workers int
+}
+
+// RumorCount is a per-rumor live-informed count inside a phase report.
+type RumorCount struct {
+	Rumor        phonecall.RumorID
+	LiveInformed int
+}
+
+// PhaseReport summarizes the rounds between two timeline events: the
+// traffic, the live population, and how far every rumor had spread when the
+// phase ended.
+type PhaseReport struct {
+	// FromRound..ToRound is the inclusive round span of the phase.
+	FromRound, ToRound int
+	// Events describes the timeline events that opened the phase.
+	Events []string
+	// Live is the live node count during the phase (constant: membership
+	// only changes at phase boundaries).
+	Live int
+	// Messages counts payload and control messages sent within the phase;
+	// Bits is their total size; MaxComms is the phase's Δ.
+	Messages int64
+	Bits     int64
+	MaxComms int
+	// Informed holds, per registered rumor, the live informed count at the
+	// end of the phase.
+	Informed []RumorCount
+}
+
+// RumorOutcome is the final state of one rumor.
+type RumorOutcome struct {
+	Rumor phonecall.RumorID
+	// InjectRound is the round at which the rumor was first injected.
+	InjectRound int
+	// LiveInformed and LiveFraction report how many live nodes held the
+	// rumor when the budget ran out.
+	LiveInformed int
+	LiveFraction float64
+	// CompletionRound is the first round at whose end every live node held
+	// the rumor (0 if that never happened within the budget).
+	CompletionRound int
+}
+
+// Result reports one scenario execution.
+type Result struct {
+	Scenario  string
+	Algorithm Algorithm
+	N         int
+	Seed      uint64
+	// Rounds is the executed round budget; Live the final live population.
+	Rounds int
+	Live   int
+	// Totals across the execution.
+	Messages         int64
+	ControlMessages  int64
+	Bits             int64
+	MessagesPerNode  float64
+	MaxCommsPerRound int
+	// Rumors holds the final per-rumor outcomes, ordered by rumor ID; Phases
+	// the per-phase trace.
+	Rumors []RumorOutcome
+	Phases []PhaseReport
+}
+
+// MinLiveFraction returns the smallest final live-informed fraction across
+// all rumors (1 for a rumor-free result).
+func (r Result) MinLiveFraction() float64 {
+	minFrac := 1.0
+	for _, ro := range r.Rumors {
+		if ro.LiveFraction < minFrac {
+			minFrac = ro.LiveFraction
+		}
+	}
+	return minFrac
+}
+
+// Run executes the scenario with one of the steppable multi-rumor protocols
+// and returns the per-phase trace. The execution is bit-identical for any
+// cfg.Workers value.
+func Run(sc Scenario, cfg Config) (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	algo, err := sc.Algorithm.orDefault()
+	if err != nil {
+		return Result{}, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	net, err := phonecall.New(phonecall.Config{
+		N:           sc.N,
+		Seed:        cfg.Seed,
+		PayloadBits: cfg.PayloadBits,
+		Workers:     workers,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario: %w", err)
+	}
+	tr := phonecall.NewRumorTracker(net)
+	proto := newProtocol(algo, net, tr)
+	events := sortEvents(sc.Events)
+
+	res := Result{Scenario: sc.Name, Algorithm: algo, N: sc.N, Seed: cfg.Seed, Rounds: sc.Rounds}
+	var injectRound, completionRound [phonecall.MaxRumors]int
+
+	next := 0
+	cur := PhaseReport{FromRound: 1}
+	closePhase := func(to int) {
+		cur.ToRound = to
+		cur.Live = net.LiveCount()
+		cur.Informed = informedCounts(tr)
+		res.Phases = append(res.Phases, cur)
+	}
+
+	for r := 1; r <= sc.Rounds; r++ {
+		// Close the running phase before this round's events mutate the
+		// network, so phase snapshots (live count, informed counts) describe
+		// the state the phase actually ended in.
+		if next < len(events) && events[next].EventRound() <= r && r > cur.FromRound {
+			closePhase(r - 1)
+			cur = PhaseReport{FromRound: r}
+		}
+		for next < len(events) && events[next].EventRound() <= r {
+			ev := events[next]
+			if err := ev.Apply(net, tr); err != nil {
+				return Result{}, err
+			}
+			if inj, ok := ev.(InjectRumor); ok && injectRound[inj.Rumor] == 0 {
+				injectRound[inj.Rumor] = r
+			}
+			cur.Events = append(cur.Events, ev.Describe())
+			next++
+		}
+
+		rep := net.ExecRound(proto.intent, proto.response, proto.deliver)
+		cur.Messages += rep.Messages
+		cur.Bits += rep.Bits
+		if rep.MaxComms > cur.MaxComms {
+			cur.MaxComms = rep.MaxComms
+		}
+
+		// Completion: the first round at whose end every live node held the
+		// rumor. Later churn (a joiner arriving uninformed) does not clear
+		// an already-recorded completion.
+		if live := net.LiveCount(); live > 0 {
+			reg := tr.Registered()
+			for id := 0; reg != 0; id, reg = id+1, reg>>1 {
+				if reg&1 != 0 && completionRound[id] == 0 && tr.LiveInformed(phonecall.RumorID(id)) >= live {
+					completionRound[id] = r
+				}
+			}
+		}
+	}
+	closePhase(sc.Rounds)
+
+	m := net.Metrics()
+	res.Live = net.LiveCount()
+	res.Messages = m.Messages
+	res.ControlMessages = m.ControlMessages
+	res.Bits = m.Bits
+	res.MessagesPerNode = m.MessagesPerNode()
+	res.MaxCommsPerRound = m.MaxCommsPerRound
+	for _, rc := range informedCounts(tr) {
+		out := RumorOutcome{
+			Rumor:           rc.Rumor,
+			InjectRound:     injectRound[rc.Rumor],
+			LiveInformed:    rc.LiveInformed,
+			CompletionRound: completionRound[rc.Rumor],
+		}
+		if res.Live > 0 {
+			out.LiveFraction = float64(rc.LiveInformed) / float64(res.Live)
+		}
+		res.Rumors = append(res.Rumors, out)
+	}
+	return res, nil
+}
+
+// informedCounts snapshots the live-informed count of every registered
+// rumor, ordered by rumor ID.
+func informedCounts(tr *phonecall.RumorTracker) []RumorCount {
+	var out []RumorCount
+	reg := tr.Registered()
+	for id := 0; reg != 0; id, reg = id+1, reg>>1 {
+		if reg&1 != 0 {
+			r := phonecall.RumorID(id)
+			out = append(out, RumorCount{Rumor: r, LiveInformed: tr.LiveInformed(r)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,375 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/phonecall"
+)
+
+// churnLossScenario builds the canonical test workload: two rumors, a crash
+// wave, loss switched on mid-run, and a partial rejoin. n defaults to 6000 —
+// above the engine's sharding threshold, so multi-worker runs really
+// execute concurrently.
+func churnLossScenario(n int) Scenario {
+	crash := failure.Random{Count: n / 5, Seed: 99}.Select(n)
+	return Scenario{
+		Name:      "churn+loss",
+		N:         n,
+		Rounds:    24,
+		Algorithm: AlgoPushPull,
+		Events: []Event{
+			InjectRumor{At: 1, Node: 0, Rumor: 0},
+			Loss{At: 5, Rate: 0.1, Seed: 7},
+			CrashAt{At: 8, Nodes: crash},
+			InjectRumor{At: 10, Node: 1, Rumor: 1},
+			JoinAt{At: 16, Nodes: crash[:len(crash)/2]},
+		},
+	}
+}
+
+// TestScenarioDeterministicAcrossWorkers is the acceptance determinism test:
+// a churn+loss scenario must produce bit-identical results — totals, phase
+// traces, rumor outcomes — for Workers ∈ {1, 2, 8}.
+func TestScenarioDeterministicAcrossWorkers(t *testing.T) {
+	sc := churnLossScenario(6000)
+	ref, err := Run(sc, Config{Seed: 42, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Rumors[0].LiveInformed == 0 {
+		t.Fatalf("reference run informed nobody: %+v", ref)
+	}
+	for _, workers := range []int{2, 8} {
+		res, err := Run(sc, Config{Seed: 42, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, res) {
+			t.Errorf("workers=%d: results differ:\n  1: %+v\n  %d: %+v", workers, ref, workers, res)
+		}
+	}
+}
+
+// TestScenarioAllAlgorithmsSpread sanity-checks every steppable protocol on
+// a static scenario: a single rumor reaches everyone within the budget.
+func TestScenarioAllAlgorithmsSpread(t *testing.T) {
+	for _, algo := range Algorithms() {
+		sc := Scenario{
+			N:         500,
+			Rounds:    40,
+			Algorithm: algo,
+			Events:    []Event{InjectRumor{At: 1, Node: 0, Rumor: 0}},
+		}
+		res, err := Run(sc, Config{Seed: 3, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		out := res.Rumors[0]
+		if out.LiveFraction != 1 {
+			t.Errorf("%s: informed fraction %.3f, want 1", algo, out.LiveFraction)
+		}
+		if out.CompletionRound == 0 {
+			t.Errorf("%s: no completion round within %d rounds", algo, sc.Rounds)
+		}
+	}
+}
+
+// TestCrashStopsSpreading pins the crash semantics end-to-end: crashing
+// every informed node right after injection leaves the rumor dead.
+func TestCrashStopsSpreading(t *testing.T) {
+	sc := Scenario{
+		N:         100,
+		Rounds:    20,
+		Algorithm: AlgoPush,
+		Events: []Event{
+			InjectRumor{At: 1, Node: 0, Rumor: 0},
+			// Crash the only source before round 1 even runs.
+			CrashAt{At: 1, Nodes: []int{0}},
+		},
+	}
+	res, err := Run(sc, Config{Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rumors[0].LiveInformed; got != 0 {
+		t.Fatalf("rumor spread from a crashed source: %d live informed", got)
+	}
+}
+
+// TestJoinRestartsUninformed pins the JoinAt semantics under the driver: a
+// crashed-then-rejoined node comes back empty and can be re-informed.
+func TestJoinRestartsUninformed(t *testing.T) {
+	sc := Scenario{
+		N:         300,
+		Rounds:    50,
+		Algorithm: AlgoPushPull,
+		Events: []Event{
+			InjectRumor{At: 1, Node: 0, Rumor: 0},
+			CrashAt{At: 12, Nodes: []int{5, 6, 7}},
+			JoinAt{At: 20, Nodes: []int{5, 6, 7}},
+		},
+	}
+	res, err := Run(sc, Config{Seed: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// By round 12 the rumor has long saturated n=300; the rejoiners come
+	// back uninformed, and push-pull re-informs them well within 30 rounds.
+	if got := res.Rumors[0].LiveFraction; got != 1 {
+		t.Fatalf("rejoined nodes not re-informed: fraction %.3f", got)
+	}
+	// The rejoin opens a phase whose live count is back to n.
+	last := res.Phases[len(res.Phases)-1]
+	if last.Live != 300 {
+		t.Fatalf("final phase live = %d, want 300", last.Live)
+	}
+	if len(res.Phases) != 3 {
+		t.Fatalf("got %d phases, want 3 (inject, crash, join)", len(res.Phases))
+	}
+}
+
+// TestLossSlowsSpreading checks the loss path end-to-end: heavy loss must
+// strictly reduce how far a push broadcast gets in a fixed round budget.
+func TestLossSlowsSpreading(t *testing.T) {
+	base := Scenario{
+		N:         2000,
+		Rounds:    8,
+		Algorithm: AlgoPush,
+		Events:    []Event{InjectRumor{At: 1, Node: 0, Rumor: 0}},
+	}
+	clean, err := Run(base, Config{Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := base
+	lossy.Events = append([]Event{Loss{At: 1, Rate: 0.6, Seed: 9}}, lossy.Events...)
+	dropped, err := Run(lossy, Config{Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped.Rumors[0].LiveInformed >= clean.Rumors[0].LiveInformed {
+		t.Fatalf("60%% loss did not slow spreading: %d vs %d informed",
+			dropped.Rumors[0].LiveInformed, clean.Rumors[0].LiveInformed)
+	}
+}
+
+// TestMultiRumorOutcomes checks that independently injected rumors are
+// tracked independently and report their injection rounds.
+func TestMultiRumorOutcomes(t *testing.T) {
+	sc := Scenario{
+		N:         400,
+		Rounds:    40,
+		Algorithm: AlgoPushPull,
+		Events: []Event{
+			InjectRumor{At: 1, Node: 0, Rumor: 0},
+			InjectRumor{At: 15, Node: 7, Rumor: 3},
+		},
+	}
+	res, err := Run(sc, Config{Seed: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rumors) != 2 {
+		t.Fatalf("got %d rumor outcomes, want 2", len(res.Rumors))
+	}
+	if res.Rumors[0].Rumor != 0 || res.Rumors[1].Rumor != 3 {
+		t.Fatalf("rumor outcomes out of order: %+v", res.Rumors)
+	}
+	if res.Rumors[0].InjectRound != 1 || res.Rumors[1].InjectRound != 15 {
+		t.Fatalf("inject rounds wrong: %+v", res.Rumors)
+	}
+	for _, ro := range res.Rumors {
+		if ro.LiveFraction != 1 || ro.CompletionRound == 0 {
+			t.Fatalf("rumor %d did not complete: %+v", ro.Rumor, ro)
+		}
+	}
+	if res.Rumors[1].CompletionRound <= res.Rumors[0].CompletionRound {
+		t.Fatalf("late rumor completed before the early one: %+v", res.Rumors)
+	}
+}
+
+// TestTimelineUnderClosedProtocol exercises Timeline.Attach: the same churn
+// events, applied under a hand-rolled closed push loop through the engine
+// hook, must fail and revive nodes at the right rounds.
+func TestTimelineUnderClosedProtocol(t *testing.T) {
+	net, err := phonecall.New(phonecall.Config{N: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTimeline(
+		CrashAt{At: 3, Nodes: []int{1, 2}},
+		Loss{At: 4, Rate: 1, Seed: 1},
+		JoinAt{At: 6, Nodes: []int{1}},
+	)
+	tl.Attach(net)
+	liveAt := map[int]int{}
+	for r := 1; r <= 6; r++ {
+		net.ExecRound(func(i int) phonecall.Intent {
+			return phonecall.PushIntent(phonecall.RandomTarget(), phonecall.Message{Tag: 1})
+		}, nil, nil)
+		liveAt[r] = net.LiveCount()
+	}
+	if tl.Err() != nil {
+		t.Fatal(tl.Err())
+	}
+	if liveAt[2] != 50 || liveAt[3] != 48 || liveAt[6] != 49 {
+		t.Fatalf("timeline live counts wrong: %v", liveAt)
+	}
+	if tl.Remaining() != 0 {
+		t.Fatalf("%d events never fired", tl.Remaining())
+	}
+	if net.LossRate() != 1 {
+		t.Fatalf("loss rate = %v, want 1", net.LossRate())
+	}
+}
+
+// TestTimelineInjectWithoutTrackerErrs pins the one unsupported combination:
+// InjectRumor under a closed protocol reports an error instead of silently
+// doing nothing.
+func TestTimelineInjectWithoutTrackerErrs(t *testing.T) {
+	net, err := phonecall.New(phonecall.Config{N: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTimeline(InjectRumor{At: 1, Node: 0, Rumor: 0})
+	tl.Attach(net)
+	net.ExecRound(func(i int) phonecall.Intent { return phonecall.Silent() }, nil, nil)
+	if tl.Err() == nil {
+		t.Fatal("InjectRumor without tracker should error")
+	}
+}
+
+// TestFromTimed checks the adversary adapter: a timed Section 8 adversary
+// becomes a CrashAt event with the same oblivious selection.
+func TestFromTimed(t *testing.T) {
+	timed := failure.Timed{Round: 9, Adversary: failure.Random{Count: 5, Seed: 2}}
+	ev := FromTimed(timed, 100)
+	if ev.At != 9 {
+		t.Fatalf("At = %d, want 9", ev.At)
+	}
+	if want := (failure.Random{Count: 5, Seed: 2}).Select(100); !reflect.DeepEqual(ev.Nodes, want) {
+		t.Fatalf("Nodes = %v, want %v", ev.Nodes, want)
+	}
+}
+
+// TestValidate covers the scenario validation paths.
+func TestValidate(t *testing.T) {
+	inject := InjectRumor{At: 1, Node: 0, Rumor: 0}
+	for _, tc := range []struct {
+		name string
+		sc   Scenario
+		ok   bool
+	}{
+		{"valid", Scenario{N: 10, Rounds: 5, Events: []Event{inject}}, true},
+		{"tiny n", Scenario{N: 1, Rounds: 5, Events: []Event{inject}}, false},
+		{"no rounds", Scenario{N: 10, Rounds: 0, Events: []Event{inject}}, false},
+		{"no inject", Scenario{N: 10, Rounds: 5}, false},
+		{"bad algo", Scenario{N: 10, Rounds: 5, Algorithm: "gossip9000", Events: []Event{inject}}, false},
+		{"crash out of range", Scenario{N: 10, Rounds: 5, Events: []Event{inject, CrashAt{At: 2, Nodes: []int{10}}}}, false},
+		{"join out of range", Scenario{N: 10, Rounds: 5, Events: []Event{inject, JoinAt{At: 2, Nodes: []int{-1}}}}, false},
+		{"loss rate", Scenario{N: 10, Rounds: 5, Events: []Event{inject, Loss{At: 1, Rate: 1.5}}}, false},
+		{"inject node", Scenario{N: 10, Rounds: 5, Events: []Event{InjectRumor{At: 1, Node: 99, Rumor: 0}}}, false},
+		{"inject rumor id", Scenario{N: 10, Rounds: 5, Events: []Event{InjectRumor{At: 1, Node: 0, Rumor: 64}}}, false},
+	} {
+		err := tc.sc.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+}
+
+// TestGenerators pins the shapes the generators emit.
+func TestGenerators(t *testing.T) {
+	t.Run("periodic churn", func(t *testing.T) {
+		evs := PeriodicChurn(1000, 5, 10, 50, 4, 30, 1)
+		// Crashes at 5, 15, 25; rejoins at 9, 19, 29.
+		if len(evs) != 6 {
+			t.Fatalf("got %d events: %+v", len(evs), evs)
+		}
+		crash, join := 0, 0
+		for _, ev := range evs {
+			switch e := ev.(type) {
+			case CrashAt:
+				crash++
+				if len(e.Nodes) != 50 {
+					t.Fatalf("crash batch size %d, want 50", len(e.Nodes))
+				}
+			case JoinAt:
+				join++
+			}
+		}
+		if crash != 3 || join != 3 {
+			t.Fatalf("crash=%d join=%d, want 3/3", crash, join)
+		}
+		// A crash batch rejoins as the same node set.
+		c, j := evs[0].(CrashAt), evs[1].(JoinAt)
+		if j.At != c.At+4 || !reflect.DeepEqual(c.Nodes, j.Nodes) {
+			t.Fatalf("rejoin does not mirror its crash: %+v vs %+v", c, j)
+		}
+		// Deterministic.
+		again := PeriodicChurn(1000, 5, 10, 50, 4, 30, 1)
+		if !reflect.DeepEqual(evs, again) {
+			t.Fatal("PeriodicChurn not deterministic")
+		}
+	})
+
+	t.Run("flap", func(t *testing.T) {
+		nodes := []int{1, 2, 3}
+		evs := Flap(nodes, 2, 3, 5, 18)
+		// Down at 2, 10, 18; up at 5, 13 (21 is past horizon).
+		if len(evs) != 5 {
+			t.Fatalf("got %d events: %+v", len(evs), evs)
+		}
+		if c, ok := evs[0].(CrashAt); !ok || c.At != 2 || !reflect.DeepEqual(c.Nodes, nodes) {
+			t.Fatalf("first flap event wrong: %+v", evs[0])
+		}
+		if j, ok := evs[1].(JoinAt); !ok || j.At != 5 {
+			t.Fatalf("second flap event wrong: %+v", evs[1])
+		}
+	})
+
+	t.Run("waves", func(t *testing.T) {
+		evs := Waves(1000, 4, 3, 3, 100, 2, 1)
+		if len(evs) != 3 {
+			t.Fatalf("got %d events", len(evs))
+		}
+		sizes := []int{}
+		for k, ev := range evs {
+			c := ev.(CrashAt)
+			if c.At != 4+3*k {
+				t.Fatalf("wave %d at round %d, want %d", k, c.At, 4+3*k)
+			}
+			sizes = append(sizes, len(c.Nodes))
+		}
+		if !reflect.DeepEqual(sizes, []int{100, 200, 400}) {
+			t.Fatalf("wave sizes = %v, want [100 200 400]", sizes)
+		}
+	})
+}
+
+// TestRunScenarioWithGeneratedChurn runs a generator-built scenario
+// end-to-end: periodic churn with rejoin under push-pull keeps a large
+// majority informed.
+func TestRunScenarioWithGeneratedChurn(t *testing.T) {
+	events := append(
+		PeriodicChurn(2000, 6, 8, 100, 4, 36, 21),
+		InjectRumor{At: 1, Node: 0, Rumor: 0},
+		Loss{At: 1, Rate: 0.05, Seed: 5},
+	)
+	sc := Scenario{Name: "generated churn", N: 2000, Rounds: 40, Events: events}
+	res, err := Run(sc, Config{Seed: 6, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := res.Rumors[0].LiveFraction; frac < 0.95 {
+		t.Fatalf("push-pull under mild churn informed only %.3f of live nodes", frac)
+	}
+	if len(res.Phases) < 4 {
+		t.Fatalf("expected several phases, got %d", len(res.Phases))
+	}
+}

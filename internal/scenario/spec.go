@@ -1,0 +1,181 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/failure"
+	"repro/internal/phonecall"
+)
+
+// JSON scenario specs: the on-disk form of a Scenario plus its execution
+// config, runnable with `go run ./cmd/scenario -spec file.json`. A spec
+// lists explicit events and/or generator invocations; both expand into the
+// same typed timeline. Example:
+//
+//	{
+//	  "name": "crash wave under loss",
+//	  "n": 20000,
+//	  "rounds": 40,
+//	  "algorithm": "push-pull",
+//	  "seed": 1,
+//	  "events": [
+//	    {"type": "inject", "round": 1, "node": 0, "rumor": 0},
+//	    {"type": "loss", "round": 1, "rate": 0.05, "seed": 7},
+//	    {"type": "crash", "round": 8, "count": 2000, "pick_seed": 11},
+//	    {"type": "join", "round": 20, "count": 1000, "pick_seed": 11}
+//	  ],
+//	  "generators": [
+//	    {"type": "periodic-churn", "start": 5, "period": 6, "count": 200,
+//	     "down_for": 6, "seed": 13}
+//	  ]
+//	}
+
+// Spec is the JSON form of a scenario.
+type Spec struct {
+	Name        string          `json:"name"`
+	N           int             `json:"n"`
+	Rounds      int             `json:"rounds"`
+	Algorithm   string          `json:"algorithm,omitempty"`
+	Seed        uint64          `json:"seed,omitempty"`
+	PayloadBits int             `json:"payload_bits,omitempty"`
+	Workers     int             `json:"workers,omitempty"`
+	Events      []EventSpec     `json:"events,omitempty"`
+	Generators  []GeneratorSpec `json:"generators,omitempty"`
+}
+
+// EventSpec is one JSON timeline entry. Type selects the event; the other
+// fields are type-specific:
+//
+//	crash / join  — nodes (explicit list), or count + pick_seed (oblivious
+//	                random selection)
+//	loss          — rate, seed
+//	inject        — node, rumor
+type EventSpec struct {
+	Type     string  `json:"type"`
+	Round    int     `json:"round"`
+	Nodes    []int   `json:"nodes,omitempty"`
+	Count    int     `json:"count,omitempty"`
+	PickSeed uint64  `json:"pick_seed,omitempty"`
+	Node     int     `json:"node,omitempty"`
+	Rumor    int     `json:"rumor,omitempty"`
+	Rate     float64 `json:"rate,omitempty"`
+	Seed     uint64  `json:"seed,omitempty"`
+}
+
+// GeneratorSpec is one JSON generator invocation, expanded into events when
+// the spec is built. Type is one of periodic-churn, flap, waves.
+type GeneratorSpec struct {
+	Type    string  `json:"type"`
+	Start   int     `json:"start"`
+	Period  int     `json:"period,omitempty"`   // periodic-churn
+	Count   int     `json:"count,omitempty"`    // periodic-churn, waves
+	DownFor int     `json:"down_for,omitempty"` // periodic-churn, flap
+	UpFor   int     `json:"up_for,omitempty"`   // flap
+	Nodes   []int   `json:"nodes,omitempty"`    // flap
+	Gap     int     `json:"gap,omitempty"`      // waves
+	Waves   int     `json:"waves,omitempty"`    // waves
+	Growth  float64 `json:"growth,omitempty"`   // waves
+	Seed    uint64  `json:"seed,omitempty"`
+}
+
+// LoadSpec reads and parses a JSON spec file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	return ParseSpec(data)
+}
+
+// ParseSpec parses a JSON spec. Unknown fields are rejected so that typos in
+// hand-written specs fail loudly instead of silently doing nothing.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parse spec: %w", err)
+	}
+	return s, nil
+}
+
+// Build expands the spec into a validated Scenario and its execution Config.
+func (s Spec) Build() (Scenario, Config, error) {
+	sc := Scenario{
+		Name:      s.Name,
+		N:         s.N,
+		Rounds:    s.Rounds,
+		Algorithm: Algorithm(s.Algorithm),
+	}
+	for i, es := range s.Events {
+		ev, err := es.event(s.N)
+		if err != nil {
+			return Scenario{}, Config{}, fmt.Errorf("scenario: event %d: %w", i, err)
+		}
+		sc.Events = append(sc.Events, ev)
+	}
+	for i, gs := range s.Generators {
+		evs, err := gs.expand(s.N, s.Rounds)
+		if err != nil {
+			return Scenario{}, Config{}, fmt.Errorf("scenario: generator %d: %w", i, err)
+		}
+		sc.Events = append(sc.Events, evs...)
+	}
+	cfg := Config{Seed: s.Seed, PayloadBits: s.PayloadBits, Workers: s.Workers}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, Config{}, err
+	}
+	return sc, cfg, nil
+}
+
+// event converts one JSON entry into a typed event.
+func (es EventSpec) event(n int) (Event, error) {
+	switch es.Type {
+	case "crash", "join":
+		nodes := es.Nodes
+		if len(nodes) == 0 {
+			if es.Count <= 0 {
+				return nil, fmt.Errorf("%s event needs nodes or a positive count", es.Type)
+			}
+			// Oblivious random selection, reusing the Section 8 adversary.
+			nodes = failure.Random{Count: es.Count, Seed: es.PickSeed}.Select(n)
+		}
+		if es.Type == "crash" {
+			return CrashAt{At: es.Round, Nodes: nodes}, nil
+		}
+		return JoinAt{At: es.Round, Nodes: nodes}, nil
+	case "loss":
+		return Loss{At: es.Round, Rate: es.Rate, Seed: es.Seed}, nil
+	case "inject":
+		if es.Rumor < 0 || es.Rumor >= phonecall.MaxRumors {
+			return nil, fmt.Errorf("rumor id %d outside [0,%d)", es.Rumor, phonecall.MaxRumors)
+		}
+		return InjectRumor{At: es.Round, Node: es.Node, Rumor: phonecall.RumorID(es.Rumor)}, nil
+	default:
+		return nil, fmt.Errorf("unknown event type %q (have crash, join, loss, inject)", es.Type)
+	}
+}
+
+// expand runs one JSON generator invocation.
+func (gs GeneratorSpec) expand(n, horizon int) ([]Event, error) {
+	switch gs.Type {
+	case "periodic-churn":
+		return PeriodicChurn(n, gs.Start, gs.Period, gs.Count, gs.DownFor, horizon, gs.Seed), nil
+	case "flap":
+		if len(gs.Nodes) == 0 {
+			return nil, fmt.Errorf("flap generator needs nodes")
+		}
+		return Flap(gs.Nodes, gs.Start, gs.DownFor, gs.UpFor, horizon), nil
+	case "waves":
+		growth := gs.Growth
+		if growth <= 0 {
+			growth = 1
+		}
+		return Waves(n, gs.Start, gs.Gap, gs.Waves, gs.Count, growth, gs.Seed), nil
+	default:
+		return nil, fmt.Errorf("unknown generator type %q (have periodic-churn, flap, waves)", gs.Type)
+	}
+}

@@ -1,0 +1,102 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+const exampleSpec = `{
+  "name": "crash wave under loss",
+  "n": 2000,
+  "rounds": 30,
+  "algorithm": "push-pull",
+  "seed": 1,
+  "events": [
+    {"type": "inject", "round": 1, "node": 0, "rumor": 0},
+    {"type": "loss", "round": 1, "rate": 0.05, "seed": 7},
+    {"type": "crash", "round": 8, "count": 200, "pick_seed": 11},
+    {"type": "join", "round": 20, "nodes": [3, 4]}
+  ],
+  "generators": [
+    {"type": "periodic-churn", "start": 5, "period": 10, "count": 20, "down_for": 5, "seed": 13}
+  ]
+}`
+
+func TestSpecBuildAndRun(t *testing.T) {
+	spec, err := ParseSpec([]byte(exampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, cfg, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.N != 2000 || sc.Rounds != 30 || sc.Algorithm != AlgoPushPull || cfg.Seed != 1 {
+		t.Fatalf("spec fields lost: %+v %+v", sc, cfg)
+	}
+	// 4 explicit events + 3 crash + 3 join from the generator.
+	if len(sc.Events) != 10 {
+		t.Fatalf("got %d events, want 10", len(sc.Events))
+	}
+	res, err := Run(sc, Config{Seed: cfg.Seed, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rumors[0].LiveInformed == 0 {
+		t.Fatal("spec run informed nobody")
+	}
+	// Spec runs are reproducible.
+	again, err := Run(sc, Config{Seed: cfg.Seed, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Fatal("same spec, same seed, different result")
+	}
+}
+
+func TestLoadSpec(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(exampleSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "crash wave under loss" {
+		t.Fatalf("Name = %q", spec.Name)
+	}
+	if _, err := LoadSpec(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"n": 10, "rounds": 5, "evnets": []}`)); err == nil {
+		t.Fatal("typoed field should be rejected")
+	}
+	if _, err := ParseSpec([]byte(`not json`)); err == nil {
+		t.Fatal("garbage should be rejected")
+	}
+}
+
+func TestSpecEventErrors(t *testing.T) {
+	for name, body := range map[string]string{
+		"unknown event type": `{"n":10,"rounds":5,"events":[{"type":"meteor","round":1}]}`,
+		"crash without pick": `{"n":10,"rounds":5,"events":[{"type":"crash","round":1}]}`,
+		"bad rumor id":       `{"n":10,"rounds":5,"events":[{"type":"inject","round":1,"node":0,"rumor":64}]}`,
+		"unknown generator":  `{"n":10,"rounds":5,"generators":[{"type":"quake","start":1}]}`,
+		"flap without nodes": `{"n":10,"rounds":5,"generators":[{"type":"flap","start":1}]}`,
+	} {
+		spec, err := ParseSpec([]byte(body))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if _, _, err := spec.Build(); err == nil {
+			t.Errorf("%s: Build succeeded, want error", name)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/harness"
 	"repro/internal/lowerbound"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 )
 
@@ -77,6 +78,15 @@ type Config struct {
 	Failures int
 	// FailureSeed drives the adversary's choice; it is independent of Seed.
 	FailureSeed uint64
+	// FailureRound, when > 1, defers the adversary to a timed crash wave
+	// that strikes at the start of that engine round — mid-execution churn
+	// instead of the paper's start-time failures (internal/scenario).
+	FailureRound int
+	// LossRate, when positive, drops every call independently with this
+	// probability (oblivious per-call loss, charged per the live-participant
+	// rule); LossSeed drives the drop decisions independently of Seed.
+	LossRate float64
+	LossSeed uint64
 }
 
 // Phase is the cost of one named phase of an execution.
@@ -135,9 +145,17 @@ func Broadcast(cfg Config) (Result, error) {
 		PayloadBits: cfg.PayloadBits,
 		Workers:     cfg.Workers,
 		Delta:       cfg.Delta,
+		LossRate:    cfg.LossRate,
+		LossSeed:    cfg.LossSeed,
 	}
 	if cfg.Failures > 0 {
-		opts.Adversary = failure.Random{Count: cfg.Failures, Seed: cfg.FailureSeed}
+		adv := failure.Random{Count: cfg.Failures, Seed: cfg.FailureSeed}
+		if cfg.FailureRound > 1 {
+			wave := failure.Timed{Round: cfg.FailureRound, Adversary: adv}
+			opts.Events = []scenario.Event{scenario.FromTimed(wave, cfg.N)}
+		} else {
+			opts.Adversary = adv
+		}
 	}
 	res, err := harness.Run(harness.Algorithm(algo), cfg.N, cfg.Seed, opts)
 	if err != nil {

@@ -55,6 +55,37 @@ func TestBroadcastWithFailures(t *testing.T) {
 	}
 }
 
+func TestBroadcastWithTimedFailuresAndLoss(t *testing.T) {
+	// A crash wave mid-execution (round 5) instead of before round 0, plus
+	// 5% per-call loss: the dynamic-network path through the facade.
+	res, err := Broadcast(Config{
+		N: 10000, Seed: 3,
+		Failures: 1000, FailureSeed: 7, FailureRound: 5,
+		LossRate: 0.05, LossSeed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Live != 9000 {
+		t.Fatalf("live = %d, want 9000 after the wave", res.Live)
+	}
+	if res.Informed < 0 || res.Informed > res.Live {
+		t.Fatalf("informed = %d out of range [0,%d]", res.Informed, res.Live)
+	}
+	// Reproducible: the wave and the loss pattern are part of the config.
+	again, err := Broadcast(Config{
+		N: 10000, Seed: 3,
+		Failures: 1000, FailureSeed: 7, FailureRound: 5,
+		LossRate: 0.05, LossSeed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Informed != res.Informed || again.Rounds != res.Rounds {
+		t.Fatalf("timed-failure broadcast not reproducible: %+v vs %+v", res, again)
+	}
+}
+
 func TestBroadcastDeterministic(t *testing.T) {
 	a, err := Broadcast(Config{N: 3000, Seed: 11, Algorithm: AlgoCluster1})
 	if err != nil {
@@ -95,7 +126,7 @@ func TestExperimentRendering(t *testing.T) {
 	if _, err := Experiment("E0", nil, nil); err == nil {
 		t.Fatal("unknown experiment should fail")
 	}
-	if len(ExperimentIDs()) != 7 {
-		t.Fatal("want 7 experiment ids")
+	if len(ExperimentIDs()) != 8 {
+		t.Fatal("want 8 experiment ids")
 	}
 }
