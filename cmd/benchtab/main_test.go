@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestRunExperimentTable regenerates one experiment table on a tiny sweep
+// and asserts the rendered markers.
+func TestRunExperimentTable(t *testing.T) {
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-experiment", "E1", "-sizes", "500", "-seeds", "1"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, marker := range []string{"E1", "round complexity", "cluster2", "log2 n"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q:\n%s", marker, out)
+		}
+	}
+}
+
+// TestRunEngineBenchJSON exercises the -json mode on a small network and
+// validates the emitted schema.
+func TestRunEngineBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-json", "-benchn", "2000", "-out", path})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var report struct {
+		GoMaxProcs int `json:"gomaxprocs"`
+		Results    []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("stdout is not the JSON report: %v\n%s", err, out)
+	}
+	names := make(map[string]bool)
+	for _, r := range report.Results {
+		names[r.Name] = true
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s has non-positive ns/op", r.Name)
+		}
+	}
+	for _, want := range []string{"EngineRound", "BroadcastCluster2", "ScenarioChurn"} {
+		if !names[want] {
+			t.Errorf("report missing %q: %v", want, names)
+		}
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("-out file not written: %v", err)
+	}
+}
+
+// TestRunRejectsMixedFlags pins the mode separation: experiment flags with
+// -json (and vice versa) are an error, not silently ignored.
+func TestRunRejectsMixedFlags(t *testing.T) {
+	if _, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-json", "-sizes", "100"})
+	}); err == nil {
+		t.Error("-json with -sizes accepted")
+	}
+	if _, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-benchn", "100"})
+	}); err == nil {
+		t.Error("-benchn without -json accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestRunSmoke drives one tiny broadcast through the CLI entry point and
+// asserts the complexity report markers appear.
+func TestRunSmoke(t *testing.T) {
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-algo", "push-pull", "-n", "300", "-seed", "1", "-workers", "2"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, marker := range []string{"algorithm", "push-pull", "informed", "all informed: true", "rounds", "max comms/round"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q:\n%s", marker, out)
+		}
+	}
+}
+
+// TestRunPhaseTable asserts the per-phase breakdown renders for the paper's
+// phase-structured main algorithm.
+func TestRunPhaseTable(t *testing.T) {
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-algo", "cluster2", "-n", "400", "-seed", "2"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, marker := range []string{"phase", "GrowInitialClusters", "UnclusteredNodesPull"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q:\n%s", marker, out)
+		}
+	}
+}
+
+// TestRunRejectsBadInput pins the error paths: unknown algorithm and an
+// undersized network must return errors, not panic or succeed.
+func TestRunRejectsBadInput(t *testing.T) {
+	if _, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-algo", "no-such-algo", "-n", "100"})
+	}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-n", "1"})
+	}); err == nil {
+		t.Error("single-node network accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// tinySpec is a complete dynamic-network spec small enough for a smoke test:
+// one rumor, a crash wave, a rejoin and a loss phase over 500 nodes.
+const tinySpec = `{
+  "name": "smoke",
+  "n": 500,
+  "rounds": 16,
+  "algorithm": "push-pull",
+  "seed": 3,
+  "events": [
+    {"type": "inject", "round": 1, "node": 0, "rumor": 0},
+    {"type": "loss", "round": 2, "rate": 0.1, "seed": 7},
+    {"type": "crash", "round": 5, "count": 50, "pick_seed": 11},
+    {"type": "join", "round": 10, "count": 20, "pick_seed": 11}
+  ]
+}`
+
+// TestRunSpecSmoke runs the tiny spec end to end and asserts the per-phase
+// trace markers.
+func TestRunSpecSmoke(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(tinySpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-spec", path, "-workers", "2"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, marker := range []string{
+		`scenario "smoke"`, "event @5: crash 50 nodes", "event @10: join 20 nodes",
+		"final:", "rumor 0 (injected round 1)",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q:\n%s", marker, out)
+		}
+	}
+}
+
+// TestRunAlgoOverride checks the -algo flag replaces the spec's protocol.
+func TestRunAlgoOverride(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(tinySpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-spec", path, "-algo", "pull"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "algorithm=pull") {
+		t.Errorf("algorithm override not applied:\n%s", out)
+	}
+}
+
+// TestRunRejectsBadInput pins the error paths: a missing -spec flag, a
+// nonexistent file and an unknown algorithm override.
+func TestRunRejectsBadInput(t *testing.T) {
+	if _, err := testutil.CaptureStdout(t, func() error { return run(nil) }); err == nil {
+		t.Error("missing -spec accepted")
+	}
+	if _, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-spec", "/nonexistent/spec.json"})
+	}); err == nil {
+		t.Error("nonexistent spec accepted")
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(tinySpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-spec", path, "-algo", "no-such-proto"})
+	}); err == nil {
+		t.Error("unknown algorithm override accepted")
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,7 +16,9 @@ import (
 )
 
 func main() {
-	const n = 50_000
+	nFlag := flag.Int("n", 50_000, "network size")
+	flag.Parse()
+	n := *nFlag
 
 	fmt.Printf("%-18s %8s %12s %14s %12s\n", "algorithm", "Δ bound", "rounds", "observed maxΔ", "lemma16")
 	for _, delta := range []int{16, 64, 256, 1024} {

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -21,9 +22,10 @@ import (
 	"repro/internal/scenario"
 )
 
-const n = 20_000
-
 func main() {
+	nFlag := flag.Int("n", 20_000, "network size")
+	flag.Parse()
+	n := *nFlag
 	fmt.Println("=== 1. crash wave at round 10, rejoin at round 24 (5% loss) ===")
 	fmt.Println()
 	wave := failure.Timed{Round: 10, Adversary: failure.Random{Count: n / 5, Seed: 11}}

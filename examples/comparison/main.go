@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,13 +14,15 @@ import (
 )
 
 func main() {
-	const n = 50_000
+	nFlag := flag.Int("n", 50_000, "network size")
+	flag.Parse()
+	n := *nFlag
 
 	fmt.Printf("%-22s %10s %12s %12s %14s %8s\n",
 		"algorithm", "rounds", "done@round", "msgs/node", "bits/node", "maxΔ")
 	for _, algo := range repro.Algorithms() {
 		size := n
-		if algo == repro.AlgoNameDropper {
+		if algo == repro.AlgoNameDropper && size > 1000 {
 			size = 1000 // the resource-discovery baseline keeps Θ(n) state per node
 		}
 		res, err := repro.Broadcast(repro.Config{N: size, Algorithm: algo, Seed: 3, Delta: 1024})

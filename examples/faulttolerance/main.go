@@ -12,6 +12,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -19,13 +20,12 @@ import (
 	"repro"
 )
 
+// n is the network size, overridable with -n (cluster2's round counts grow
+// only like log n, so the round-30 wave stays mid-execution from a few
+// thousand nodes up).
+var n = 50_000
+
 const (
-	n = 50_000
-	// waveRound is the engine round at whose start the timed wave strikes.
-	// Round 30 is mid-execution for cluster2 at this size: the clustering
-	// skeleton exists but the BoundedClusterPush / PullJoin / ClusterShare
-	// broadcast phases are still ahead.
-	waveRound = 30
 	// earlyWaveRound strikes during GrowInitialClusters, when the rumor's
 	// future path is a sparse half-built structure.
 	earlyWaveRound = 5
@@ -35,7 +35,32 @@ const (
 	oFBound = 0.5
 )
 
+// midBroadcastRound picks the round for the timed wave: the middle of the
+// BoundedClusterPush phase, when the clustering skeleton exists and the
+// rumor has started fanning out but the PullJoin / ClusterShare phases are
+// still ahead. The phase boundaries move with n, so the round is read off
+// an unfailured dry run rather than hardcoded — a fixed round drifts into
+// the fragile mid-clustering regime at other sizes (the contrast row below
+// shows that regime deliberately).
+func midBroadcastRound() int {
+	res, err := repro.Broadcast(repro.Config{N: n, Algorithm: repro.AlgoCluster2, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rounds := 0
+	for _, p := range res.Phases {
+		if p.Name == "BoundedClusterPush" {
+			return rounds + p.Rounds/2
+		}
+		rounds += p.Rounds
+	}
+	return rounds / 2
+}
+
 func main() {
+	flag.IntVar(&n, "n", n, "network size")
+	flag.Parse()
+	waveRound := midBroadcastRound()
 	violations := 0
 
 	fmt.Println("=== start-time adversary (the paper's Section 8 model) ===")
@@ -68,7 +93,7 @@ func measure(failureRound int, assert bool) int {
 	violations := 0
 	fmt.Printf("%-10s %-8s %-22s %-14s %-10s %-6s\n", "failed F", "F/n", "uninformed survivors", "uninformed/F", "rounds", "o(F)?")
 	for _, fraction := range []float64{0.01, 0.05, 0.10, 0.20, 0.30} {
-		f := int(fraction * n)
+		f := int(fraction * float64(n))
 		res, err := repro.Broadcast(repro.Config{
 			N:            n,
 			Algorithm:    repro.AlgoCluster2,

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,10 +16,10 @@ import (
 )
 
 func main() {
-	const (
-		servers = 20_000
-		delta   = 128
-	)
+	serversFlag := flag.Int("n", 20_000, "number of servers")
+	flag.Parse()
+	servers := *serversFlag
+	const delta = 128
 
 	fmt.Printf("membership service over %d servers, per-round fan-in bound Δ=%d\n\n", servers, delta)
 

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -11,8 +12,10 @@ import (
 )
 
 func main() {
+	n := flag.Int("n", 100_000, "network size")
+	flag.Parse()
 	result, err := repro.Broadcast(repro.Config{
-		N:           100_000,
+		N:           *n,
 		Algorithm:   repro.AlgoCluster2,
 		Seed:        1,
 		PayloadBits: 256,

@@ -1,0 +1,110 @@
+// Package check is the statistical assertion layer of the verification
+// subsystem: it turns the paper's asymptotic theorems into `go test`
+// assertions over seeded replications.
+//
+// A randomized claim ("Cluster2 finishes in O(log n) rounds w.h.p.") cannot
+// be tested by a single execution — one lucky or unlucky seed proves
+// nothing. The layer's shape: run a measurement across a fixed, documented
+// set of seeds (Replicate), summarize it with internal/stats (mean, extremes
+// and a normal-approximation confidence interval), and assert calibrated
+// finite-size bounds against the sample (w.h.p. upper bounds against the
+// sample maximum, lower bounds against the minimum, expectation bounds
+// against the confidence interval). The seed policy, replication counts and
+// interval methodology are documented in EXPERIMENTS.md ("Statistical
+// methodology").
+//
+// The theorem checks themselves live in this package's tests
+// (theorems_test.go) and run in plain `go test ./...`, so every PR exercises
+// them in CI.
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// Level is the confidence level every replication's interval is computed at.
+const Level = 0.95
+
+// Seeds returns the standing seed policy for k replications: the fixed
+// consecutive seeds 1..k. Fixed seeds make every replication reproducible
+// and every failure replayable; independence across replications comes from
+// the seed-derived generator streams (internal/rng), not from seed choice.
+func Seeds(k int) []uint64 {
+	out := make([]uint64, k)
+	for i := range out {
+		out[i] = uint64(i + 1)
+	}
+	return out
+}
+
+// Sample measures one replication of a randomized quantity.
+type Sample func(seed uint64) (float64, error)
+
+// Replication is a measured sample across seeds, with its summary statistics
+// and confidence interval.
+type Replication struct {
+	Name    string
+	Values  []float64
+	Summary stats.Summary
+	CI      stats.Interval
+}
+
+// Replicate runs the sample once per seed and summarizes the measurements.
+func Replicate(name string, seeds []uint64, sample Sample) (Replication, error) {
+	r := Replication{Name: name, Values: make([]float64, 0, len(seeds))}
+	for _, seed := range seeds {
+		v, err := sample(seed)
+		if err != nil {
+			return Replication{}, fmt.Errorf("check: %s seed %d: %w", name, seed, err)
+		}
+		r.Values = append(r.Values, v)
+	}
+	r.Summary = stats.Summarize(r.Values)
+	r.CI = stats.ConfidenceInterval(r.Values, Level)
+	return r, nil
+}
+
+// String renders the replication for failure messages and -v logs.
+func (r Replication) String() string {
+	return fmt.Sprintf("%s: k=%d mean=%.2f ci=[%.2f, %.2f] min=%.0f max=%.0f",
+		r.Name, r.Summary.Count, r.Summary.Mean, r.CI.Lo, r.CI.Hi, r.Summary.Min, r.Summary.Max)
+}
+
+// AssertMaxBelow asserts the w.h.p. form of an upper bound: every
+// replication stayed below the bound.
+func (r Replication) AssertMaxBelow(t testing.TB, bound float64) {
+	t.Helper()
+	if r.Summary.Max > bound {
+		t.Errorf("%v exceeds the bound %.2f", r, bound)
+	}
+}
+
+// AssertMinAbove asserts the w.h.p. form of a lower bound: every replication
+// stayed above the bound.
+func (r Replication) AssertMinAbove(t testing.TB, bound float64) {
+	t.Helper()
+	if r.Summary.Min < bound {
+		t.Errorf("%v falls below the bound %.2f", r, bound)
+	}
+}
+
+// AssertCIBelow asserts an in-expectation upper bound: the confidence
+// interval for the mean lies entirely below the bound.
+func (r Replication) AssertCIBelow(t testing.TB, bound float64) {
+	t.Helper()
+	if r.CI.Hi > bound {
+		t.Errorf("%v: CI upper end exceeds the bound %.2f", r, bound)
+	}
+}
+
+// AssertCIAbove asserts an in-expectation lower bound: the confidence
+// interval for the mean lies entirely above the bound.
+func (r Replication) AssertCIAbove(t testing.TB, bound float64) {
+	t.Helper()
+	if r.CI.Lo < bound {
+		t.Errorf("%v: CI lower end falls below the bound %.2f", r, bound)
+	}
+}

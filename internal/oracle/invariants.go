@@ -1,0 +1,290 @@
+package oracle
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/phonecall"
+)
+
+// Checker is the invariant-checking engine wrapper: registered on a live
+// Network through the RoundObserver seam (net.Observe(checker)), it watches
+// every intent, response and delivery the engine evaluates and validates the
+// per-round model contracts of DESIGN.md §2 under ANY protocol — the
+// paper's closed clustering algorithms as much as the steppable scenario
+// protocols:
+//
+//   - each live node's intent is evaluated exactly once per round; dead
+//     nodes never act (no intent, no response, no delivery);
+//   - responses are evaluated at most once per node, and only for nodes a
+//     live pull actually reached;
+//   - the communication, message, bit and pull charges match the
+//     live-participant rule, including the round's Δ and the cumulative
+//     metrics deltas;
+//   - every inbox matches the model's content and order (by initiator
+//     index, a puller's own response at its initiator position), and the
+//     delivered spans of the arena are pairwise disjoint.
+//
+// Expected charges and inboxes are recomputed from the observed intents with
+// the same spec evaluator the reference Oracle runs on — the model
+// definition, not the engine's code.
+//
+// Violations are collected (capped) rather than panicking; check Err after
+// the run. The Checker is safe for the engine's concurrent shards.
+type Checker struct {
+	net  *phonecall.Network
+	info phonecall.RoundInfo
+
+	round       int
+	prevMetrics phonecall.Metrics
+
+	intentSeen  []atomic.Int32
+	intents     []phonecall.Intent
+	respSeen    []atomic.Int32
+	resps       []phonecall.Message
+	respOK      []bool
+	deliverSeen []atomic.Int32
+	inboxes     [][]phonecall.Message
+	spans       [][2]uintptr
+
+	mu   sync.Mutex
+	errs []error
+}
+
+// maxViolations caps how many violations a Checker records; everything past
+// the cap is dropped (the first violation is what matters).
+const maxViolations = 16
+
+// NewChecker builds a Checker for the network. Register it with
+// net.Observe(c); it validates every subsequent round until unregistered.
+func NewChecker(net *phonecall.Network) *Checker {
+	n := net.N()
+	return &Checker{
+		net:         net,
+		intentSeen:  make([]atomic.Int32, n),
+		intents:     make([]phonecall.Intent, n),
+		respSeen:    make([]atomic.Int32, n),
+		resps:       make([]phonecall.Message, n),
+		respOK:      make([]bool, n),
+		deliverSeen: make([]atomic.Int32, n),
+		inboxes:     make([][]phonecall.Message, n),
+		spans:       make([][2]uintptr, 0, n),
+	}
+}
+
+// violate records one contract violation.
+func (c *Checker) violate(format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.errs) < maxViolations {
+		c.errs = append(c.errs, fmt.Errorf("round %d: "+format, append([]any{c.round}, args...)...))
+	}
+}
+
+// Err returns the first recorded violation, or nil.
+func (c *Checker) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.errs) == 0 {
+		return nil
+	}
+	return c.errs[0]
+}
+
+// Violations returns every recorded violation (capped at maxViolations).
+func (c *Checker) Violations() []error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]error(nil), c.errs...)
+}
+
+// BeginRound implements phonecall.RoundObserver.
+func (c *Checker) BeginRound(round int, info phonecall.RoundInfo) {
+	c.round = round
+	c.info = info
+	c.prevMetrics = c.net.Metrics()
+	for i := range c.intents {
+		c.intentSeen[i].Store(0)
+		c.respSeen[i].Store(0)
+		c.deliverSeen[i].Store(0)
+		c.inboxes[i] = nil
+	}
+	c.spans = c.spans[:0]
+}
+
+// ObserveIntent implements phonecall.RoundObserver. Shard goroutine; writes
+// are index-owned, counters atomic.
+func (c *Checker) ObserveIntent(i int, it phonecall.Intent) {
+	if c.intentSeen[i].Add(1) == 1 {
+		c.intents[i] = it
+	} else {
+		c.violate("node %d: intent evaluated more than once", i)
+	}
+	if c.net.IsFailed(i) {
+		c.violate("node %d: dead node initiated a call", i)
+	}
+}
+
+// ObserveResponse implements phonecall.RoundObserver.
+func (c *Checker) ObserveResponse(i int, m phonecall.Message, ok bool) {
+	if c.respSeen[i].Add(1) == 1 {
+		c.resps[i] = m
+		c.respOK[i] = ok
+	} else {
+		c.violate("node %d: responseOf evaluated more than once", i)
+	}
+	if c.net.IsFailed(i) {
+		c.violate("node %d: dead node was asked to respond", i)
+	}
+}
+
+// ObserveDeliver implements phonecall.RoundObserver. Copies the inbox (the
+// slice aliases the arena) and records its physical span for the
+// disjointness check.
+func (c *Checker) ObserveDeliver(i int, inbox []phonecall.Message) {
+	if c.deliverSeen[i].Add(1) == 1 {
+		cp := make([]phonecall.Message, len(inbox))
+		copy(cp, inbox)
+		c.inboxes[i] = cp
+	} else {
+		c.violate("node %d: inbox delivered more than once", i)
+	}
+	if c.net.IsFailed(i) {
+		c.violate("node %d: delivery to a dead node", i)
+	}
+	if len(inbox) == 0 {
+		c.violate("node %d: delivery of an empty inbox", i)
+	} else {
+		start := uintptr(unsafe.Pointer(unsafe.SliceData(inbox)))
+		end := start + uintptr(len(inbox))*unsafe.Sizeof(phonecall.Message{})
+		c.mu.Lock()
+		c.spans = append(c.spans, [2]uintptr{start, end})
+		c.mu.Unlock()
+	}
+}
+
+// EndRound implements phonecall.RoundObserver: replays the observed intents
+// through the model spec and validates every charge and every inbox.
+// Coordinator goroutine, after all passes.
+func (c *Checker) EndRound(rep phonecall.RoundReport) {
+	if rep.Round != c.round {
+		c.violate("report carries round %d", rep.Round)
+	}
+	n := c.net.N()
+	if !c.info.HasIntent {
+		// Empty round: nothing may have been evaluated or delivered.
+		for i := 0; i < n; i++ {
+			if c.intentSeen[i].Load() != 0 || c.respSeen[i].Load() != 0 || c.deliverSeen[i].Load() != 0 {
+				c.violate("node %d: activity in an empty round", i)
+			}
+		}
+		if rep.Messages != 0 || rep.Bits != 0 || rep.MaxComms != 0 {
+			c.violate("charges in an empty round: %+v", rep)
+		}
+		return
+	}
+
+	// Exactly-once intent evaluation for the live population.
+	for i := 0; i < n; i++ {
+		seen := c.intentSeen[i].Load()
+		if c.net.IsFailed(i) {
+			continue // dead-node activity was flagged at observation time
+		}
+		if seen != 1 {
+			c.violate("node %d: live node's intent evaluated %d times", i, seen)
+		}
+	}
+
+	// Replay the observed intents through the model definition.
+	s := newSpecRound(roundEnv{
+		N:           n,
+		Round:       c.round,
+		Seed:        c.net.Seed(),
+		LossRate:    c.net.LossRate(),
+		LossSeed:    c.net.LossSeed(),
+		IsFailed:    c.net.IsFailed,
+		ID:          c.net.ID,
+		IndexOf:     c.net.IndexOf,
+		MessageBits: c.net.MessageSize,
+		ControlBits: c.net.ControlBits(),
+	})
+	for i := 0; i < n; i++ {
+		if !c.net.IsFailed(i) && c.intentSeen[i].Load() > 0 {
+			s.addIntent(i, c.intents[i])
+		}
+	}
+	pulledSet := make(map[int]bool)
+	for _, d := range s.pulled() {
+		pulledSet[d] = true
+		if c.info.HasResponse {
+			if c.respSeen[d].Load() != 1 {
+				c.violate("node %d: pulled node's response evaluated %d times", d, c.respSeen[d].Load())
+			} else {
+				s.addResponse(d, c.resps[d], c.respOK[d])
+			}
+		}
+	}
+	for d := 0; d < n; d++ {
+		if c.respSeen[d].Load() > 0 && !pulledSet[d] {
+			c.violate("node %d: responded without a live pull reaching it", d)
+		}
+	}
+
+	// Charges: the round report and the cumulative metrics must match the
+	// live-participant rule applied to the observed intents.
+	want := s.report()
+	if rep != want {
+		c.violate("report %+v does not match the model's %+v", rep, want)
+	}
+	cur := c.net.Metrics()
+	if d := cur.Messages - c.prevMetrics.Messages; d != s.msgs {
+		c.violate("payload message delta %d, model says %d", d, s.msgs)
+	}
+	if d := cur.ControlMessages - c.prevMetrics.ControlMessages; d != s.control {
+		c.violate("control message delta %d, model says %d", d, s.control)
+	}
+	if d := cur.Bits - c.prevMetrics.Bits; d != s.bits {
+		c.violate("bit delta %d, model says %d", d, s.bits)
+	}
+	wantMax := c.prevMetrics.MaxCommsPerRound
+	if mc := s.maxComms(); mc > wantMax {
+		wantMax = mc
+	}
+	if cur.MaxCommsPerRound != wantMax {
+		c.violate("cumulative Δ %d, model says %d", cur.MaxCommsPerRound, wantMax)
+	}
+	for i := 0; i < n; i++ {
+		if d := cur.MessagesSent[i] - c.prevMetrics.MessagesSent[i]; d != s.sent[i] {
+			c.violate("node %d: sent-counter delta %d, model says %d", i, d, s.sent[i])
+		}
+	}
+
+	// Inboxes: exact content and order, delivered iff non-empty.
+	expected := s.inboxes()
+	for i := 0; i < n; i++ {
+		delivered := c.deliverSeen[i].Load() > 0
+		if want := len(expected[i]) > 0; delivered != want {
+			c.violate("node %d: delivered=%v but the model's inbox has %d messages",
+				i, delivered, len(expected[i]))
+			continue
+		}
+		if delivered && !reflect.DeepEqual(c.inboxes[i], expected[i]) {
+			c.violate("node %d: inbox diverges from the model:\n  engine: %+v\n  model:  %+v",
+				i, c.inboxes[i], expected[i])
+		}
+	}
+
+	// Arena spans: every delivered inbox must occupy its own slice of the
+	// arena; overlapping spans would mean one node's inbox aliases another's.
+	sort.Slice(c.spans, func(a, b int) bool { return c.spans[a][0] < c.spans[b][0] })
+	for k := 1; k < len(c.spans); k++ {
+		if c.spans[k][0] < c.spans[k-1][1] {
+			c.violate("inbox arena spans overlap: [%x,%x) and [%x,%x)",
+				c.spans[k-1][0], c.spans[k-1][1], c.spans[k][0], c.spans[k][1])
+		}
+	}
+}

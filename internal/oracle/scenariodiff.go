@@ -1,0 +1,254 @@
+package oracle
+
+import (
+	"fmt"
+	"math/bits"
+	"reflect"
+	"sort"
+
+	"repro/internal/phonecall"
+	"repro/internal/scenario"
+)
+
+// Scenario differential: run a dynamic-network scenario through the real
+// driver (scenario.Run — steppable protocols, RumorTracker, the sharded
+// engine) and through a naive re-implementation on the reference Oracle —
+// holdings as plain bitmask slices, live-informed counts recomputed by
+// scanning, events applied by type switch — and demand identical Results:
+// every phase report, every rumor outcome, every metric.
+
+// ScenarioDiff executes the scenario both ways and returns a description of
+// the first divergence (nil when the two executions agree). The scenario
+// must be valid; validation errors are returned as-is.
+func ScenarioDiff(sc scenario.Scenario, cfg scenario.Config) error {
+	want, err := scenario.Run(sc, cfg)
+	if err != nil {
+		return err
+	}
+	got, err := referenceScenarioRun(sc, cfg)
+	if err != nil {
+		return fmt.Errorf("oracle: reference scenario run: %w", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		return fmt.Errorf("oracle: scenario %q diverges:\n  driver:    %+v\n  reference: %+v", sc.Name, want, got)
+	}
+	return nil
+}
+
+// refTracker is the naive rumor bookkeeping: one holdings bitmask per node,
+// live-informed counts recomputed by scanning every node on demand.
+type refTracker struct {
+	o    *Oracle
+	held []uint64
+	used uint64
+}
+
+func (t *refTracker) liveInformed(r phonecall.RumorID) int {
+	count := 0
+	for i, h := range t.held {
+		if h&(1<<r) != 0 && !t.o.IsFailed(i) {
+			count++
+		}
+	}
+	return count
+}
+
+// informedCounts mirrors the driver's per-phase snapshot: every registered
+// rumor in ascending ID order with its live-informed count.
+func (t *refTracker) informedCounts() []scenario.RumorCount {
+	var out []scenario.RumorCount
+	for id := 0; id < phonecall.MaxRumors; id++ {
+		if t.used&(1<<id) != 0 {
+			r := phonecall.RumorID(id)
+			out = append(out, scenario.RumorCount{Rumor: r, LiveInformed: t.liveInformed(r)})
+		}
+	}
+	return out
+}
+
+// applyEvent applies one timeline event to the reference state, mirroring
+// the semantics of Event.Apply under the scenario driver (crash keeps
+// holdings, join clears them, inject registers and marks).
+func applyEvent(o *Oracle, t *refTracker, ev scenario.Event) error {
+	switch e := ev.(type) {
+	case scenario.CrashAt:
+		o.Fail(e.Nodes...)
+	case scenario.JoinAt:
+		for _, i := range e.Nodes {
+			if i >= 0 && i < o.N() && o.IsFailed(i) {
+				o.Revive(i)
+				t.held[i] = 0 // rejoiners start uninformed
+			}
+		}
+	case scenario.Loss:
+		o.SetLoss(e.Rate, e.Seed)
+	case scenario.InjectRumor:
+		if e.Node < 0 || e.Node >= o.N() {
+			return fmt.Errorf("inject node %d outside [0,%d)", e.Node, o.N())
+		}
+		if e.Rumor >= phonecall.MaxRumors {
+			return fmt.Errorf("rumor id %d outside [0,%d)", e.Rumor, phonecall.MaxRumors)
+		}
+		t.used |= 1 << e.Rumor
+		t.held[e.Node] |= 1 << e.Rumor
+	default:
+		return fmt.Errorf("unknown event type %T", ev)
+	}
+	return nil
+}
+
+// tagRumorSet is the steppable protocols' message discriminator (the
+// holdings bitmask travels in Message.Value), fixed by internal/scenario.
+const tagRumorSet uint8 = 111
+
+// refProtocol re-implements the steppable multi-rumor protocols against the
+// reference state.
+type refProtocol struct {
+	algo     scenario.Algorithm
+	o        *Oracle
+	t        *refTracker
+	overhead int
+}
+
+func (p *refProtocol) message(held uint64) phonecall.Message {
+	return phonecall.Message{
+		Tag:   tagRumorSet,
+		Value: held,
+		Rumor: true,
+		Bits:  p.overhead + bits.OnesCount64(held)*p.o.PayloadBits(),
+	}
+}
+
+func (p *refProtocol) intent(i int) phonecall.Intent {
+	held := p.t.held[i]
+	switch p.algo {
+	case scenario.AlgoPush:
+		if held == 0 {
+			return phonecall.Silent()
+		}
+		return phonecall.PushIntent(phonecall.RandomTarget(), p.message(held))
+	case scenario.AlgoPull:
+		if held == p.t.used {
+			return phonecall.Silent()
+		}
+		return phonecall.PullIntent(phonecall.RandomTarget())
+	default: // push-pull
+		if held == 0 {
+			return phonecall.ExchangeIntent(phonecall.RandomTarget(), phonecall.Message{})
+		}
+		return phonecall.ExchangeIntent(phonecall.RandomTarget(), p.message(held))
+	}
+}
+
+func (p *refProtocol) response(j int) (phonecall.Message, bool) {
+	if p.algo == scenario.AlgoPush {
+		return phonecall.Message{}, false
+	}
+	held := p.t.held[j]
+	if held == 0 {
+		return phonecall.Message{}, false
+	}
+	return p.message(held), true
+}
+
+func (p *refProtocol) deliver(i int, inbox []phonecall.Message) {
+	var mask uint64
+	for _, m := range inbox {
+		if m.Tag == tagRumorSet {
+			mask |= m.Value
+		}
+	}
+	// Merge only registered rumors, like RumorTracker.MarkSet.
+	p.t.held[i] |= mask & p.t.used
+}
+
+// referenceScenarioRun replays the scenario driver's execution loop — phase
+// windows, event application, completion detection, final outcome assembly —
+// on the reference engine and tracker.
+func referenceScenarioRun(sc scenario.Scenario, cfg scenario.Config) (scenario.Result, error) {
+	algo := sc.Algorithm
+	if algo == "" {
+		algo = scenario.AlgoPushPull
+	}
+	o, err := New(phonecall.Config{N: sc.N, Seed: cfg.Seed, PayloadBits: cfg.PayloadBits})
+	if err != nil {
+		return scenario.Result{}, err
+	}
+	tr := &refTracker{o: o, held: make([]uint64, sc.N)}
+	proto := &refProtocol{
+		algo:     algo,
+		o:        o,
+		t:        tr,
+		overhead: o.MessageSize(phonecall.Message{Tag: tagRumorSet}),
+	}
+	events := append([]scenario.Event(nil), sc.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].EventRound() < events[j].EventRound() })
+
+	res := scenario.Result{Scenario: sc.Name, Algorithm: algo, N: sc.N, Seed: cfg.Seed, Rounds: sc.Rounds}
+	var injectRound, completionRound [phonecall.MaxRumors]int
+
+	next := 0
+	cur := scenario.PhaseReport{FromRound: 1}
+	closePhase := func(to int) {
+		cur.ToRound = to
+		cur.Live = o.LiveCount()
+		cur.Informed = tr.informedCounts()
+		res.Phases = append(res.Phases, cur)
+	}
+
+	for r := 1; r <= sc.Rounds; r++ {
+		if next < len(events) && events[next].EventRound() <= r && r > cur.FromRound {
+			closePhase(r - 1)
+			cur = scenario.PhaseReport{FromRound: r}
+		}
+		for next < len(events) && events[next].EventRound() <= r {
+			ev := events[next]
+			if err := applyEvent(o, tr, ev); err != nil {
+				return scenario.Result{}, err
+			}
+			if inj, ok := ev.(scenario.InjectRumor); ok && injectRound[inj.Rumor] == 0 {
+				injectRound[inj.Rumor] = r
+			}
+			cur.Events = append(cur.Events, ev.Describe())
+			next++
+		}
+
+		rep := o.ExecRound(proto.intent, proto.response, proto.deliver)
+		cur.Messages += rep.Messages
+		cur.Bits += rep.Bits
+		if rep.MaxComms > cur.MaxComms {
+			cur.MaxComms = rep.MaxComms
+		}
+
+		if live := o.LiveCount(); live > 0 {
+			for id := 0; id < phonecall.MaxRumors; id++ {
+				if tr.used&(1<<id) != 0 && completionRound[id] == 0 &&
+					tr.liveInformed(phonecall.RumorID(id)) >= live {
+					completionRound[id] = r
+				}
+			}
+		}
+	}
+	closePhase(sc.Rounds)
+
+	m := o.Metrics()
+	res.Live = o.LiveCount()
+	res.Messages = m.Messages
+	res.ControlMessages = m.ControlMessages
+	res.Bits = m.Bits
+	res.MessagesPerNode = m.MessagesPerNode()
+	res.MaxCommsPerRound = m.MaxCommsPerRound
+	for _, rc := range tr.informedCounts() {
+		out := scenario.RumorOutcome{
+			Rumor:           rc.Rumor,
+			InjectRound:     injectRound[rc.Rumor],
+			LiveInformed:    rc.LiveInformed,
+			CompletionRound: completionRound[rc.Rumor],
+		}
+		if res.Live > 0 {
+			out.LiveFraction = float64(rc.LiveInformed) / float64(res.Live)
+		}
+		res.Rumors = append(res.Rumors, out)
+	}
+	return res, nil
+}

@@ -180,7 +180,7 @@ func TestLossIsObliviousToExecutionSeed(t *testing.T) {
 		delivered := 0
 		for r := 0; r < 4; r++ {
 			net.ExecRound(
-				func(i int) Intent { return PushIntent(DirectTarget(net.ID((i + 1) % 64)), Message{Tag: 1}) },
+				func(i int) Intent { return PushIntent(DirectTarget(net.ID((i+1)%64)), Message{Tag: 1}) },
 				nil,
 				func(i int, inbox []Message) { delivered += len(inbox) },
 			)

@@ -227,10 +227,25 @@ func (net *Network) ExecRound(
 		// happen-before every pass).
 		net.roundHook(net.round)
 	}
+	obs := net.observer
+	if obs != nil {
+		obs.BeginRound(net.round, RoundInfo{
+			HasIntent:   intentOf != nil,
+			HasResponse: responseOf != nil,
+			HasDeliver:  deliver != nil,
+		})
+	}
 	if intentOf == nil {
 		// No initiator means an empty round: nothing is sent, charged or
 		// delivered.
-		return RoundReport{Round: net.round}
+		rep := RoundReport{Round: net.round}
+		if obs != nil {
+			obs.EndRound(rep)
+		}
+		return rep
+	}
+	if obs != nil {
+		intentOf, responseOf, deliver = net.observedCallbacks(obs, intentOf, responseOf, deliver)
 	}
 
 	net.curIntent = intentOf
@@ -298,12 +313,16 @@ func (net *Network) ExecRound(
 	net.curResponse = nil
 	net.curDeliver = nil
 
-	return RoundReport{
+	rep := RoundReport{
 		Round:    net.round,
 		Messages: msgs + control,
 		Bits:     bits,
 		MaxComms: maxComms,
 	}
+	if obs != nil {
+		obs.EndRound(rep)
+	}
+	return rep
 }
 
 // passIntents evaluates the intents of the shard's initiators, resolves their
@@ -524,13 +543,34 @@ func (net *Network) passFill(w, lo, hi int) {
 	}
 }
 
+// PoisonMessage is the value every inbox slot is overwritten with under
+// Config.PoisonInbox, as soon as the slot's delivery callback returns. The
+// field values are deliberately implausible (the zero From never names a
+// node) so an illegally retained message is recognizable at the point of
+// misuse rather than reading as plausible stale traffic.
+var PoisonMessage = Message{
+	From:  NoNode,
+	Value: 0xdead_dead_dead_dead,
+	Bits:  -1,
+	Tag:   0xEF,
+}
+
 // passDeliver hands every non-empty inbox to the delivery callback.
 func (net *Network) passDeliver(lo, hi int) {
 	deliver := net.curDeliver
+	poison := net.cfg.PoisonInbox
 	for d := lo; d < hi; d++ {
 		if c := net.inCount[d]; c > 0 {
 			off := net.inOff[d]
-			deliver(d, net.slab[off:off+c:off+c])
+			inbox := net.slab[off : off+c : off+c]
+			deliver(d, inbox)
+			if poison {
+				// Enforce the copy-out contract: the span is dead the moment
+				// the callback returns.
+				for k := range inbox {
+					inbox[k] = PoisonMessage
+				}
+			}
 		}
 	}
 }

@@ -134,6 +134,14 @@ type Config struct {
 	// Values <= 1 mean sequential execution; small networks always run on a
 	// single shard. Results are bit-identical for any worker count.
 	Workers int
+	// PoisonInbox is a debug mode that overwrites each node's inbox span in
+	// the message arena with poison values as soon as its delivery callback
+	// returns. Inbox slices alias the arena and are only valid during the
+	// callback; with poisoning on, a callback that illegally retains its
+	// inbox reads PoisonMessage values instead of silently stale (and later
+	// silently recycled) data. Compliant protocols produce bit-identical
+	// results with poisoning on or off.
+	PoisonInbox bool
 }
 
 // DefaultPayloadBits is the default rumor size (b = 256 bits ≈ Ω(log n)).
@@ -229,6 +237,9 @@ type Network struct {
 	// roundHook, when set, runs at the start of every ExecRound before any
 	// intent is evaluated (OnRoundStart).
 	roundHook func(round int)
+
+	// observer, when set, taps the round's callback traffic (Observe).
+	observer RoundObserver
 
 	// Per-round callbacks, published to the pool workers through the pass
 	// channel's happens-before edge.

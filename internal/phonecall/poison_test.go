@@ -1,0 +1,70 @@
+package phonecall
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPoisonEnforcesCopyOutContract proves the documented "callbacks must
+// copy retained messages" contract is actually enforced: a callback that
+// illegally retains its inbox slice reads PoisonMessage values the moment
+// ExecRound returns, instead of silently stale arena contents.
+func TestPoisonEnforcesCopyOutContract(t *testing.T) {
+	net, err := New(Config{N: 16, Seed: 1, PoisonInbox: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retained []Message // the bug under test: aliasing the arena
+	var copied []Message   // the documented usage: copying out
+	net.ExecRound(
+		func(i int) Intent {
+			return PushIntent(DirectTarget(net.ID(0)), Message{Tag: 7, Value: uint64(i)})
+		},
+		nil,
+		func(i int, inbox []Message) {
+			retained = inbox
+			copied = append([]Message(nil), inbox...)
+		},
+	)
+	if len(retained) == 0 {
+		t.Fatal("no messages delivered")
+	}
+	for k, m := range retained {
+		if !reflect.DeepEqual(m, PoisonMessage) {
+			t.Errorf("retained[%d] = %+v, want the poison value — the arena was not scrubbed", k, m)
+		}
+	}
+	for k, m := range copied {
+		if m.Tag != 7 {
+			t.Errorf("copied[%d] = %+v, the copy must keep the real message", k, m)
+		}
+	}
+}
+
+// TestPoisonPreservesCompliantResults runs the mixed workload — which copies
+// its inboxes, as the contract demands — with poisoning on and off and
+// requires bit-identical delivery logs and metrics, single- and multi-shard.
+func TestPoisonPreservesCompliantResults(t *testing.T) {
+	const n, rounds = 3 * shardMinNodes / 2, 8
+	fail := []int{2, 77, n - 3}
+	for _, workers := range []int{1, 4} {
+		ref := newMixedWorkload(t, n, workers, fail)
+		ref.run(rounds)
+
+		net, err := New(Config{N: n, Seed: 99, Workers: workers, PoisonInbox: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Fail(fail...)
+		poisoned := &mixedWorkload{net: net, informed: make([]bool, n), log: make([][]Message, n)}
+		poisoned.informed[0] = true
+		poisoned.run(rounds)
+
+		if !reflect.DeepEqual(ref.net.Metrics(), poisoned.net.Metrics()) {
+			t.Errorf("workers=%d: metrics diverge under poisoning", workers)
+		}
+		if !reflect.DeepEqual(ref.log, poisoned.log) {
+			t.Errorf("workers=%d: delivery logs diverge under poisoning", workers)
+		}
+	}
+}

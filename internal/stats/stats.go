@@ -75,6 +75,43 @@ func Percentile(values []float64, p float64) float64 {
 // Mean returns the arithmetic mean of values (0 for an empty sample).
 func Mean(values []float64) float64 { return Summarize(values).Mean }
 
+// Interval is a two-sided confidence interval for a mean.
+type Interval struct {
+	// Level is the confidence level in (0, 1), e.g. 0.95.
+	Level  float64
+	Lo, Hi float64
+}
+
+// Contains reports whether x lies within the interval.
+func (iv Interval) Contains(x float64) bool { return iv.Lo <= x && x <= iv.Hi }
+
+// HalfWidth returns half the interval's width.
+func (iv Interval) HalfWidth() float64 { return (iv.Hi - iv.Lo) / 2 }
+
+// ConfidenceInterval returns the normal-approximation confidence interval
+// for the mean of values at the given level: mean ± z·s/√k with z the
+// two-sided standard-normal quantile. Level is a fraction in (0, 1) — pass
+// 0.95, not 95; levels outside that range panic (a silently degenerate
+// interval would let assertions built on it pass vacuously). Samples with
+// fewer than two values yield the degenerate interval at the mean. The
+// replication counts used by internal/check (k ≥ 8) keep the normal
+// approximation serviceable for the bounded, light-tailed quantities the
+// theorem checks measure.
+func ConfidenceInterval(values []float64, level float64) Interval {
+	if level <= 0 || level >= 1 {
+		panic("stats: confidence level must be a fraction in (0, 1)")
+	}
+	s := Summarize(values)
+	iv := Interval{Level: level, Lo: s.Mean, Hi: s.Mean}
+	if s.Count < 2 {
+		return iv
+	}
+	z := math.Sqrt2 * math.Erfinv(level)
+	d := z * s.StdDev / math.Sqrt(float64(s.Count))
+	iv.Lo, iv.Hi = s.Mean-d, s.Mean+d
+	return iv
+}
+
 // Correlation returns the Pearson correlation coefficient of xs and ys.
 // Mismatched or degenerate inputs yield 0.
 func Correlation(xs, ys []float64) float64 {

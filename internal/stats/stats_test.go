@@ -128,3 +128,43 @@ func TestModelsAreMonotone(t *testing.T) {
 		}
 	}
 }
+
+func TestConfidenceInterval(t *testing.T) {
+	// A symmetric sample: the interval must be centered on the mean, widen
+	// with the confidence level, and shrink as the sample grows.
+	sample := []float64{8, 9, 10, 11, 12, 9, 10, 11}
+	iv95 := ConfidenceInterval(sample, 0.95)
+	if !almostEqual((iv95.Lo+iv95.Hi)/2, Mean(sample)) {
+		t.Fatalf("interval %+v not centered on mean %v", iv95, Mean(sample))
+	}
+	if !iv95.Contains(10) {
+		t.Fatalf("interval %+v misses the true center", iv95)
+	}
+	iv99 := ConfidenceInterval(sample, 0.99)
+	if iv99.HalfWidth() <= iv95.HalfWidth() {
+		t.Fatalf("99%% interval %+v not wider than 95%% %+v", iv99, iv95)
+	}
+	doubled := append(append([]float64(nil), sample...), sample...)
+	if wide := ConfidenceInterval(doubled, 0.95); wide.HalfWidth() >= iv95.HalfWidth() {
+		t.Fatalf("doubling the sample did not shrink the interval: %+v vs %+v", wide, iv95)
+	}
+	// Degenerate samples collapse to the mean.
+	if iv := ConfidenceInterval([]float64{7}, 0.95); iv.Lo != 7 || iv.Hi != 7 {
+		t.Fatalf("single-value interval %+v", iv)
+	}
+	// The 95% z-quantile: half-width = z·s/sqrt(k) with z ≈ 1.96.
+	s := Summarize(sample)
+	z := iv95.HalfWidth() / (s.StdDev / math.Sqrt(float64(s.Count)))
+	if math.Abs(z-1.9599) > 1e-3 {
+		t.Fatalf("z-quantile %v, want ≈1.96", z)
+	}
+}
+
+func TestConfidenceIntervalRejectsBadLevel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("percentage-style level accepted without panic")
+		}
+	}()
+	ConfidenceInterval([]float64{1, 2, 3}, 95)
+}

@@ -1,0 +1,31 @@
+// Package testutil holds the small helpers shared by the command-line smoke
+// tests.
+package testutil
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// CaptureStdout runs fn with os.Stdout redirected into a pipe and returns
+// everything it printed alongside fn's error. The CLIs print straight to
+// os.Stdout, so their smoke tests swap it for the duration of one run.
+func CaptureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
