@@ -1,0 +1,195 @@
+// Command livegossip spins up N in-process nodes — one goroutine each,
+// exchanging wire-encoded phone-call frames over a pluggable transport — and
+// reports convergence time and message counts (internal/live).
+//
+// Two modes:
+//
+//	lockstep     barrier-synchronized rounds on the channel mesh, running any
+//	             of the closed broadcast algorithms unchanged; bit-identical
+//	             to the simulator engine (the internal/live conformance
+//	             guarantee), so mid-run churn and model loss behave exactly
+//	             as in cmd/gossipsim.
+//	free         free-running local round clocks with bounded skew: the
+//	             steppable gossip protocols under transport-level frame loss,
+//	             latency and jitter, convergence detected by the completion
+//	             monitor. Churn, loss and rumor injection come from a JSON
+//	             scenario spec (-spec).
+//
+// Example:
+//
+//	livegossip -mode lockstep -algo cluster2 -n 1000 -seed 7
+//	livegossip -mode free -n 1000 -drop 0.05 -rounds 150
+//	livegossip -mode free -spec examples/churn/spec.json
+//	livegossip -mode free -n 200 -transport udp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "livegossip:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("livegossip", flag.ContinueOnError)
+	mode := fs.String("mode", "free", "execution mode: lockstep or free")
+	n := fs.Int("n", 1000, "number of nodes (one goroutine each)")
+	seed := fs.Uint64("seed", 1, "execution seed")
+	algo := fs.String("algo", "", "algorithm: lockstep takes the closed algorithms (cluster2, clusterpushpull, push-pull, ...), free takes push, pull, push-pull")
+	rounds := fs.Int("rounds", 0, "free-running per-node round budget (0 = derived from n)")
+	skew := fs.Int("skew", 0, "free-running max rounds ahead of the slowest node (0 = default)")
+	transport := fs.String("transport", "chan", "transport: chan (in-process mesh) or udp (loopback sockets, free mode)")
+	drop := fs.Float64("drop", 0, "transport frame-loss probability (free mode, chan transport)")
+	dropSeed := fs.Uint64("dropseed", 99, "seed for the deterministic drop/jitter injection")
+	latency := fs.Duration("latency", 0, "per-frame delivery latency (free mode, chan transport)")
+	jitter := fs.Duration("jitter", 0, "additional per-frame jitter bound (free mode, chan transport)")
+	spec := fs.String("spec", "", "JSON scenario spec: n, rounds, algorithm and the churn/loss/rumor timeline (free mode)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	lo := harness.LiveOptions{
+		Transport: *transport,
+		Drop:      *drop, DropSeed: *dropSeed,
+		Latency: *latency, Jitter: *jitter,
+		MaxSkew: *skew, Rounds: *rounds,
+	}
+	switch *mode {
+	case "lockstep":
+		if *spec != "" {
+			return fmt.Errorf("-spec drives free-running mode; lock-step timelines go through cmd/gossipsim-style options")
+		}
+		return runLockStep(*algo, *n, *seed, lo)
+	case "free":
+		return runFree(*algo, *n, *seed, *spec, fs, lo)
+	default:
+		return fmt.Errorf("unknown mode %q (have lockstep, free)", *mode)
+	}
+}
+
+// runLockStep executes a closed algorithm on the barrier-synchronized live
+// runtime and prints its (engine-identical) complexity report.
+func runLockStep(algo string, n int, seed uint64, lo harness.LiveOptions) error {
+	if algo == "" {
+		algo = string(harness.AlgoCluster2)
+	}
+	start := time.Now()
+	res, err := harness.RunLockStep(harness.Algorithm(algo), n, seed, harness.Options{}, lo)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("live lock-step     %s over %s transport (%d node goroutines)\n", res.Algorithm, transportName(lo), n)
+	fmt.Printf("nodes              %d (live %d)\n", res.N, res.Live)
+	fmt.Printf("informed           %d (all informed: %v)\n", res.Informed, res.AllInformed)
+	fmt.Printf("rounds             %d\n", res.Rounds)
+	fmt.Printf("messages           %d payload + %d control (%.2f per node)\n", res.Messages, res.ControlMessages, res.MessagesPerNode)
+	fmt.Printf("bits               %d\n", res.Bits)
+	fmt.Printf("max comms/round Δ  %d\n", res.MaxCommsPerRound)
+	fmt.Printf("wall time          %v\n", wall.Round(time.Millisecond))
+	fmt.Printf("conformance        bit-identical to the simulator engine (internal/live gate)\n")
+	if len(res.Phases) > 0 {
+		fmt.Printf("\n%-28s %8s %12s %14s\n", "phase", "rounds", "messages", "bits")
+		for _, p := range res.Phases {
+			fmt.Printf("%-28s %8d %12d %14d\n", p.Name, p.Rounds, p.Messages, p.Bits)
+		}
+	}
+	return nil
+}
+
+// runFree executes the free-running workload, optionally shaped by a JSON
+// scenario spec.
+func runFree(algo string, n int, seed uint64, specPath string, fs *flag.FlagSet, lo harness.LiveOptions) error {
+	var events []scenario.Event
+	algorithm := scenario.Algorithm(algo)
+	if specPath != "" {
+		sp, err := scenario.LoadSpec(specPath)
+		if err != nil {
+			return err
+		}
+		sc, cfg, err := sp.Build()
+		if err != nil {
+			return err
+		}
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if set["n"] {
+			// The spec's event node indexes are relative to its own n;
+			// resizing underneath them would silently invalidate the
+			// timeline.
+			return fmt.Errorf("-n conflicts with -spec (the spec fixes n=%d)", sc.N)
+		}
+		n = sc.N
+		events = sc.Events
+		if algorithm == "" {
+			algorithm = sc.Algorithm
+		}
+		if lo.Rounds <= 0 {
+			lo.Rounds = sc.Rounds
+		}
+		lo.PayloadBits = cfg.PayloadBits
+		if !set["seed"] {
+			seed = cfg.Seed
+		}
+	}
+
+	rep, err := harness.RunFreeRunning(n, seed, algorithm, events, lo)
+	if err != nil {
+		return err
+	}
+	res := rep.Trace("free-"+string(orPushPull(algorithm)), seed)
+
+	fmt.Printf("live free-running  %s over %s transport (%d node goroutines, max skew %d)\n",
+		orPushPull(algorithm), transportName(lo), n, maxSkewShown(lo))
+	fmt.Printf("nodes              %d (live %d)\n", rep.N, rep.Live)
+	if rep.AllInformed {
+		fmt.Printf("converged          all %d live nodes informed at frontier round %d\n", rep.Live, rep.CompletionFrontier)
+	} else {
+		fmt.Printf("converged          NO: %d/%d live nodes informed within %d rounds\n", rep.Informed, rep.Live, rep.Rounds)
+	}
+	fmt.Printf("local rounds       budget %d, furthest clock %d\n", rep.Rounds, rep.MaxRound)
+	fmt.Printf("messages           %d payload + %d control (%.2f per node)\n", rep.Messages, rep.ControlMessages, res.MessagesPerNode)
+	fmt.Printf("bits               %d\n", rep.Bits)
+	fmt.Printf("max comms/round Δ  %d\n", rep.MaxComms)
+	fmt.Printf("frame drops        %d\n", rep.Drops)
+	fmt.Printf("wall time          %v\n", rep.Wall.Round(time.Millisecond))
+	if rep.UnfiredEvents > 0 {
+		fmt.Printf("warning            %d timeline event(s) never fired (past the final frontier)\n", rep.UnfiredEvents)
+	}
+	if rep.IgnoredEvents > 0 {
+		fmt.Printf("warning            %d timeline event(s) not honored by this transport\n", rep.IgnoredEvents)
+	}
+	return nil
+}
+
+func orPushPull(a scenario.Algorithm) scenario.Algorithm {
+	if a == "" {
+		return scenario.AlgoPushPull
+	}
+	return a
+}
+
+func transportName(lo harness.LiveOptions) string {
+	if lo.Transport == "" {
+		return "chan"
+	}
+	return lo.Transport
+}
+
+func maxSkewShown(lo harness.LiveOptions) int {
+	if lo.MaxSkew < 1 {
+		return 3
+	}
+	return lo.MaxSkew
+}

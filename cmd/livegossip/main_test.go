@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestRunLockStepSmoke runs a small closed algorithm end to end on the live
+// runtime and asserts the report markers.
+func TestRunLockStepSmoke(t *testing.T) {
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-mode", "lockstep", "-algo", "cluster2", "-n", "300", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, marker := range []string{
+		"live lock-step     cluster2", "(300 node goroutines)",
+		"all informed: true", "conformance        bit-identical", "phase",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q:\n%s", marker, out)
+		}
+	}
+}
+
+// TestRunFreeSmoke runs the free-running mode under 5% frame loss.
+func TestRunFreeSmoke(t *testing.T) {
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-mode", "free", "-n", "400", "-drop", "0.05", "-seed", "2"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, marker := range []string{
+		"live free-running  push-pull", "converged          all 400 live nodes informed",
+		"frame drops", "wall time",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q:\n%s", marker, out)
+		}
+	}
+}
+
+// TestRunFreeFromSpec drives churn and rumor injection from a JSON scenario
+// spec.
+func TestRunFreeFromSpec(t *testing.T) {
+	const spec = `{
+	  "name": "live-smoke",
+	  "n": 300,
+	  "rounds": 120,
+	  "algorithm": "push-pull",
+	  "seed": 5,
+	  "events": [
+	    {"type": "inject", "round": 1, "node": 0, "rumor": 0},
+	    {"type": "crash", "round": 4, "count": 20, "pick_seed": 11},
+	    {"type": "join", "round": 12, "count": 20, "pick_seed": 11}
+	  ]
+	}`
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-mode", "free", "-spec", path})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "(300 node goroutines") {
+		t.Errorf("spec n not applied:\n%s", out)
+	}
+	if !strings.Contains(out, "converged          all") {
+		t.Errorf("spec run did not converge:\n%s", out)
+	}
+	// An explicit -n conflicts with the spec (its event node indexes are
+	// relative to the spec's own n).
+	if _, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-mode", "free", "-spec", path, "-n", "50"})
+	}); err == nil || !strings.Contains(err.Error(), "conflicts") {
+		t.Errorf("-n alongside -spec accepted (err=%v)", err)
+	}
+}
+
+// TestRunRejectsBadInput pins the error paths: unknown mode and transport,
+// UDP under lock-step, a lossy mesh under lock-step, a bad spec path, a spec
+// in lock-step mode, and unknown algorithms in both modes.
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "bogus"},
+		{"-mode", "free", "-transport", "bogus"},
+		{"-mode", "lockstep", "-transport", "udp", "-n", "50"},
+		{"-mode", "lockstep", "-drop", "0.5", "-n", "50"},
+		{"-mode", "free", "-spec", "/nonexistent/spec.json"},
+		{"-mode", "lockstep", "-spec", "whatever.json"},
+		{"-mode", "free", "-algo", "no-such-proto", "-n", "50"},
+		{"-mode", "lockstep", "-algo", "no-such-algo", "-n", "50"},
+		{"-bogusflag"},
+	}
+	for _, args := range cases {
+		if _, err := testutil.CaptureStdout(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

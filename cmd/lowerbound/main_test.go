@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestRunSmoke runs the lower-bound exploration at two small sizes and
+// asserts the table header, the per-size rows and the optional Lemma 16 and
+// trace outputs.
+func TestRunSmoke(t *testing.T) {
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-n", "100,1000", "-seeds", "2", "-delta", "16", "-trace"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, marker := range []string{
+		"knowledge-graph min T", "100", "1000",
+		"Lemma 16 with Δ=16", "T=",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q:\n%s", marker, out)
+		}
+	}
+}
+
+// TestRunDefaultsOmitExtras checks that -delta and -trace output stay off by
+// default.
+func TestRunDefaultsOmitExtras(t *testing.T) {
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-n", "100", "-seeds", "1"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(out, "Lemma 16") {
+		t.Errorf("Lemma 16 printed without -delta:\n%s", out)
+	}
+	if strings.Contains(out, "T=") {
+		t.Errorf("feasibility trace printed without -trace:\n%s", out)
+	}
+}
+
+// TestRunRejectsBadInput pins the error paths: an unparsable size and an
+// unknown flag.
+func TestRunRejectsBadInput(t *testing.T) {
+	if _, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-n", "12,notanumber"})
+	}); err == nil {
+		t.Error("unparsable size accepted")
+	}
+	if _, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-bogus"})
+	}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

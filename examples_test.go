@@ -23,6 +23,7 @@ var exampleRuns = map[string][]string{
 	"membership":     {"-n", "2000"},
 	"churn":          {"-n", "2000"},
 	"faulttolerance": {"-n", "3000"},
+	"livegossip":     {"-n", "800"},
 }
 
 func TestExamplesBuildAndRun(t *testing.T) {

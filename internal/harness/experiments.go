@@ -58,7 +58,9 @@ func (t Table) Render() string {
 }
 
 // ExperimentIDs lists the experiments in order.
-func ExperimentIDs() []string { return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} }
+func ExperimentIDs() []string {
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+}
 
 // RunExperiment dispatches an experiment by ID using the given sweep.
 func RunExperiment(id string, cfg SweepConfig) (Table, error) {
@@ -79,6 +81,8 @@ func RunExperiment(id string, cfg SweepConfig) (Table, error) {
 		return E7Comparison(cfg)
 	case "E8":
 		return E8Churn(cfg)
+	case "E9":
+		return E9SimVsLive(cfg)
 	default:
 		return Table{}, fmt.Errorf("harness: unknown experiment %q", id)
 	}

@@ -90,6 +90,14 @@ func Run(algo Algorithm, n int, seed uint64, opts Options) (trace.Result, error)
 	if err != nil {
 		return trace.Result{}, fmt.Errorf("harness: %w", err)
 	}
+	return runOnNetwork(net, algo, opts)
+}
+
+// runOnNetwork applies the options' adversary, loss and timeline to a
+// prepared network and dispatches the algorithm. Shared between Run (the
+// simulator engine) and RunLockStep (the live runtime installed as the
+// network's executor — see live.go).
+func runOnNetwork(net *phonecall.Network, algo Algorithm, opts Options) (trace.Result, error) {
 	if opts.Adversary != nil {
 		failure.Apply(net, opts.Adversary)
 	}

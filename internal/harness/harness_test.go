@@ -234,7 +234,45 @@ func TestExperimentE8SmallSweep(t *testing.T) {
 
 func TestExperimentIDsDispatch(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 8 {
-		t.Fatalf("want 8 experiments, got %v", ids)
+	if len(ids) != 9 {
+		t.Fatalf("want 9 experiments, got %v", ids)
+	}
+}
+
+// TestRunLockStepMatchesRun pins the harness-level conformance guarantee:
+// RunLockStep returns exactly what Run returns for the same arguments, with
+// adversary and timeline options applied on the live runtime.
+func TestRunLockStepMatchesRun(t *testing.T) {
+	opts := Options{Workers: 1, LossRate: 0.05, LossSeed: 3}
+	sim, err := Run(AlgoPushPull, 600, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRes, err := RunLockStep(AlgoPushPull, 600, 2, opts, LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(sim, liveRes) {
+		t.Fatalf("live lock-step diverges from sim:\n sim:  %+v\n live: %+v", sim, liveRes)
+	}
+	if _, err := RunLockStep(AlgoPushPull, 100, 1, Options{}, LiveOptions{Transport: "udp"}); err == nil {
+		t.Fatal("lock-step over UDP accepted")
+	}
+	if _, err := RunLockStep(AlgoPushPull, 100, 1, Options{}, LiveOptions{Drop: 0.5}); err == nil {
+		t.Fatal("lock-step over a lossy mesh accepted")
+	}
+}
+
+// TestRunFreeRunningConverges smoke-tests the harness free-running path.
+func TestRunFreeRunningConverges(t *testing.T) {
+	rep, err := RunFreeRunning(300, 4, "", nil, LiveOptions{Drop: 0.05, DropSeed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllInformed {
+		t.Fatalf("free-running run did not converge: %+v", rep)
+	}
+	if _, err := RunFreeRunning(300, 4, "", nil, LiveOptions{Transport: "bogus"}); err == nil {
+		t.Fatal("unknown transport accepted")
 	}
 }

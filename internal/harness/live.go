@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"fmt"
+	"math/bits"
+	"reflect"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/phonecall"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Live execution: the same algorithms and reporting, but the rounds run on
+// the goroutine-per-node message-passing runtime (internal/live) instead of
+// the sharded simulator engine.
+
+// LiveOptions selects and tunes the live runtime's transport and clocks.
+type LiveOptions struct {
+	// Transport is "chan" (in-process mailbox mesh, default) or "udp"
+	// (loopback sockets; free-running only).
+	Transport string
+	// Drop is the transport-level per-frame loss probability (free-running
+	// only; lock-step loss comes from the model's SetLoss state so it stays
+	// bit-identical to the engine). DropSeed drives the decisions.
+	Drop     float64
+	DropSeed uint64
+	// Latency and Jitter delay channel-mesh deliveries (free-running only).
+	Latency time.Duration
+	Jitter  time.Duration
+	// MaxSkew bounds free-running round clocks (default 3).
+	MaxSkew int
+	// Rounds is the free-running per-node budget; <= 0 derives a generous
+	// Θ(log n) budget.
+	Rounds int
+	// PayloadBits is the free-running per-rumor payload size b (default
+	// 256); lock-step takes it from Options.PayloadBits like Run.
+	PayloadBits int
+}
+
+// transport builds the configured transport.
+func (lo LiveOptions) transport(n int, lockStep bool) (live.Transport, error) {
+	switch lo.Transport {
+	case "", "chan":
+		cfg := live.ChannelConfig{
+			Drop: lo.Drop, DropSeed: lo.DropSeed,
+			Latency: lo.Latency, Jitter: lo.Jitter, JitterSeed: lo.DropSeed ^ 0x717e4,
+		}
+		if lockStep && (cfg.Drop > 0 || cfg.Latency > 0 || cfg.Jitter > 0) {
+			return nil, fmt.Errorf("harness: lock-step needs the plain synchronous mesh; model churn and loss go through Options.Events/LossRate")
+		}
+		return live.NewChannelTransport(n, cfg)
+	case "udp":
+		if lockStep {
+			return nil, fmt.Errorf("harness: lock-step needs a synchronous transport; UDP is free-running only")
+		}
+		return live.NewUDPTransport(n)
+	default:
+		return nil, fmt.Errorf("harness: unknown transport %q (have chan, udp)", lo.Transport)
+	}
+}
+
+// freeBudget derives the default free-running round budget.
+func (lo LiveOptions) freeBudget(n int) int {
+	if lo.Rounds > 0 {
+		return lo.Rounds
+	}
+	return 60 + 8*bits.Len(uint(n))
+}
+
+// RunLockStep executes one closed algorithm with every node running as its
+// own goroutine over the live transport, in barrier-synchronized lock-step.
+// The result is bit-identical to Run with the same arguments (the conformance
+// guarantee of internal/live); adversaries, timelines and model loss from
+// opts apply unchanged.
+func RunLockStep(algo Algorithm, n int, seed uint64, opts Options, lo LiveOptions) (trace.Result, error) {
+	net, err := phonecall.New(phonecall.Config{
+		N:           n,
+		Seed:        seed,
+		PayloadBits: opts.PayloadBits,
+	})
+	if err != nil {
+		return trace.Result{}, fmt.Errorf("harness: %w", err)
+	}
+	tr, err := lo.transport(n, true)
+	if err != nil {
+		return trace.Result{}, err
+	}
+	ls, err := live.NewLockStep(net, tr)
+	if err != nil {
+		tr.Close()
+		return trace.Result{}, err
+	}
+	defer func() {
+		ls.Close()
+		tr.Close()
+	}()
+	res, err := runOnNetwork(net, algo, opts)
+	if err != nil {
+		return trace.Result{}, err
+	}
+	if err := ls.Err(); err != nil {
+		return trace.Result{}, fmt.Errorf("harness: live runtime: %w", err)
+	}
+	return res, nil
+}
+
+// RunFreeRunning executes a free-running live workload: one of the steppable
+// gossip protocols, local round clocks with bounded skew, convergence
+// detected by the completion monitor, scenario events fired as the round
+// frontier passes them.
+func RunFreeRunning(n int, seed uint64, algo scenario.Algorithm, events []scenario.Event, lo LiveOptions) (live.Report, error) {
+	tr, err := lo.transport(n, false)
+	if err != nil {
+		return live.Report{}, err
+	}
+	defer tr.Close()
+	fr, err := live.NewFreeRun(live.FreeRunConfig{
+		N:           n,
+		Seed:        seed,
+		Rounds:      lo.freeBudget(n),
+		MaxSkew:     lo.MaxSkew,
+		Algorithm:   algo,
+		PayloadBits: lo.PayloadBits,
+		Events:      events,
+		Transport:   tr,
+	})
+	if err != nil {
+		return live.Report{}, err
+	}
+	return fr.Run()
+}
+
+// E9SimVsLive is the sim-vs-live comparison table: the closed algorithms on
+// the engine and on the lock-step runtime (asserted bit-identical), plus
+// free-running convergence with and without transport loss. See
+// EXPERIMENTS.md E9.
+func E9SimVsLive(cfg SweepConfig) (Table, error) {
+	// Goroutine-per-node execution: cap the size so the default sweep stays
+	// cheap; the CLI runs larger live networks on demand.
+	n := cfg.Sizes[len(cfg.Sizes)-1]
+	if n > 2000 {
+		n = 2000
+	}
+	t := Table{
+		ID:    "E9",
+		Title: fmt.Sprintf("simulated vs live execution at n=%d", n),
+		Header: []string{
+			"mode", "algorithm", "rounds", "msgs/node", "informed", "identical to sim",
+		},
+	}
+
+	for _, algo := range []Algorithm{AlgoPushPull, AlgoCluster2} {
+		var rounds, msgs, informed []float64
+		identical := true
+		for _, seed := range cfg.Seeds {
+			sim, err := Run(algo, n, seed, cfg.Opts)
+			if err != nil {
+				return Table{}, fmt.Errorf("E9 sim %s: %w", algo, err)
+			}
+			liveRes, err := RunLockStep(algo, n, seed, cfg.Opts, LiveOptions{})
+			if err != nil {
+				return Table{}, fmt.Errorf("E9 live %s: %w", algo, err)
+			}
+			if !resultsEqual(sim, liveRes) {
+				identical = false
+			}
+			rounds = append(rounds, float64(liveRes.Rounds))
+			msgs = append(msgs, liveRes.MessagesPerNode)
+			if liveRes.Live > 0 {
+				informed = append(informed, float64(liveRes.Informed)/float64(liveRes.Live))
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			"live lock-step", string(algo),
+			fmt.Sprintf("%.1f", stats.Summarize(rounds).Mean),
+			fmt.Sprintf("%.2f", stats.Summarize(msgs).Mean),
+			fmt.Sprintf("%.3f", stats.Summarize(informed).Mean),
+			fmt.Sprintf("%v", identical),
+		})
+	}
+
+	for _, drop := range []float64{0, 0.05} {
+		var rounds, msgs, informed []float64
+		for _, seed := range cfg.Seeds {
+			rep, err := RunFreeRunning(n, seed, scenario.AlgoPushPull, nil,
+				LiveOptions{Drop: drop, DropSeed: seed + 900, PayloadBits: cfg.Opts.PayloadBits})
+			if err != nil {
+				return Table{}, fmt.Errorf("E9 free drop=%.2f: %w", drop, err)
+			}
+			rounds = append(rounds, float64(rep.CompletionFrontier))
+			res := rep.Trace("free", seed)
+			msgs = append(msgs, res.MessagesPerNode)
+			if rep.Live > 0 {
+				informed = append(informed, float64(rep.Informed)/float64(rep.Live))
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("live free-run %.0f%% drop", drop*100), string(AlgoPushPull),
+			fmt.Sprintf("%.1f", stats.Summarize(rounds).Mean),
+			fmt.Sprintf("%.2f", stats.Summarize(msgs).Mean),
+			fmt.Sprintf("%.3f", stats.Summarize(informed).Mean),
+			"n/a (async)",
+		})
+	}
+
+	t.Notes = append(t.Notes,
+		"lock-step rows execute every node as a goroutine exchanging wire frames; 'identical to sim' asserts bit-equal traces (the internal/live conformance guarantee)",
+		"free-run rows report the completion frontier (the first frontier round at which every live node held the rumor) under transport-level frame loss",
+	)
+	return t, nil
+}
+
+// resultsEqual compares two trace results field by field (phases included).
+func resultsEqual(a, b trace.Result) bool {
+	return reflect.DeepEqual(a, b)
+}

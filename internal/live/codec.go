@@ -1,0 +1,175 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/phonecall"
+)
+
+// The compact wire codec shared by every transport. One frame is one
+// phone-call event:
+//
+//	[type:1][flags:1][round:uvarint][src:uvarint][message?]
+//
+// where type is frameCall (a call: an optional pushed payload plus an
+// optional pull request — a bare call with neither still charges the model's
+// Δ communication at the receiver) or frameResp (the src node's
+// address-oblivious pull response), and src is the dense node index of the
+// initiator (calls) or responder (responses). The message block is present
+// iff flagPayload is set:
+//
+//	[value:8 LE][bits:zigzag uvarint][tag:1][idCount+1:uvarint][ids:8 LE each]
+//
+// Message.From is NOT on the wire: the engine stamps From with the sender's
+// ID on every message, so the receiver reconstructs it from src through the
+// shared ID directory — one fewer full-entropy word per frame. Value and IDs
+// are fixed 64-bit (they carry full-entropy node IDs or bitmasks); round,
+// src, bits and the ID count are varints (small in practice). The id count
+// is offset by one so a nil IDs slice (0) and an empty non-nil slice (1)
+// round-trip distinguishably — delivered inboxes must be bit-identical to
+// the engine's.
+const (
+	frameCall byte = 1
+	frameResp byte = 2
+
+	flagPayload byte = 1 << 0
+	flagPull    byte = 1 << 1
+	flagRumor   byte = 1 << 2
+)
+
+// frame is a decoded wire frame. msg.From is zero; the receiver stamps it
+// from src.
+type frame struct {
+	typ        byte
+	round, src int
+	hasPayload bool
+	wantsPull  bool
+	msg        phonecall.Message
+}
+
+// appendMessage encodes the message block.
+func appendMessage(dst []byte, m *phonecall.Message) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, m.Value)
+	dst = binary.AppendUvarint(dst, zigzag(m.Bits))
+	dst = append(dst, m.Tag)
+	if m.IDs == nil {
+		dst = binary.AppendUvarint(dst, 0)
+	} else {
+		dst = binary.AppendUvarint(dst, uint64(len(m.IDs))+1)
+		for _, id := range m.IDs {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(id))
+		}
+	}
+	return dst
+}
+
+// appendCallFrame encodes a call from initiator src. The payload is included
+// iff hasPayload; wantsPull marks the call as (also) a pull request. The
+// rumor flag of the payload travels in the frame flags byte.
+func appendCallFrame(dst []byte, round, src int, hasPayload, wantsPull bool, m *phonecall.Message) []byte {
+	var flags byte
+	if hasPayload {
+		flags |= flagPayload
+		if m.Rumor {
+			flags |= flagRumor
+		}
+	}
+	if wantsPull {
+		flags |= flagPull
+	}
+	dst = append(dst, frameCall, flags)
+	dst = binary.AppendUvarint(dst, uint64(round))
+	dst = binary.AppendUvarint(dst, uint64(src))
+	if hasPayload {
+		dst = appendMessage(dst, m)
+	}
+	return dst
+}
+
+// appendRespFrame encodes responder src's pull response.
+func appendRespFrame(dst []byte, round, src int, m *phonecall.Message) []byte {
+	flags := flagPayload
+	if m.Rumor {
+		flags |= flagRumor
+	}
+	dst = append(dst, frameResp, flags)
+	dst = binary.AppendUvarint(dst, uint64(round))
+	dst = binary.AppendUvarint(dst, uint64(src))
+	return appendMessage(dst, m)
+}
+
+// parseFrame decodes one frame.
+func parseFrame(data []byte) (frame, error) {
+	var fr frame
+	if len(data) < 2 {
+		return fr, fmt.Errorf("live: frame too short (%d bytes)", len(data))
+	}
+	fr.typ = data[0]
+	flags := data[1]
+	if fr.typ != frameCall && fr.typ != frameResp {
+		return fr, fmt.Errorf("live: unknown frame type %d", fr.typ)
+	}
+	fr.hasPayload = flags&flagPayload != 0 || fr.typ == frameResp
+	fr.wantsPull = flags&flagPull != 0
+	rest := data[2:]
+	round, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return fr, fmt.Errorf("live: bad round varint")
+	}
+	rest = rest[k:]
+	src, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return fr, fmt.Errorf("live: bad src varint")
+	}
+	rest = rest[k:]
+	fr.round, fr.src = int(round), int(src)
+	if !fr.hasPayload {
+		if len(rest) != 0 {
+			return fr, fmt.Errorf("live: %d trailing bytes on payload-free frame", len(rest))
+		}
+		return fr, nil
+	}
+	if len(rest) < 8 {
+		return fr, fmt.Errorf("live: truncated message value")
+	}
+	fr.msg.Value = binary.LittleEndian.Uint64(rest)
+	rest = rest[8:]
+	zbits, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return fr, fmt.Errorf("live: bad bits varint")
+	}
+	rest = rest[k:]
+	fr.msg.Bits = unzigzag(zbits)
+	if len(rest) < 1 {
+		return fr, fmt.Errorf("live: truncated message tag")
+	}
+	fr.msg.Tag = rest[0]
+	rest = rest[1:]
+	idc, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return fr, fmt.Errorf("live: bad id count varint")
+	}
+	rest = rest[k:]
+	if idc > 0 {
+		count := int(idc - 1)
+		if len(rest) != count*8 {
+			return fr, fmt.Errorf("live: id block is %d bytes, want %d", len(rest), count*8)
+		}
+		fr.msg.IDs = make([]phonecall.NodeID, count)
+		for i := 0; i < count; i++ {
+			fr.msg.IDs[i] = phonecall.NodeID(binary.LittleEndian.Uint64(rest[i*8:]))
+		}
+	} else if len(rest) != 0 {
+		return fr, fmt.Errorf("live: %d trailing bytes after message", len(rest))
+	}
+	fr.msg.Rumor = flags&flagRumor != 0
+	return fr, nil
+}
+
+// zigzag maps a signed int onto the unsigned varint space (small magnitudes
+// stay small; Bits can legitimately be negative in protocol edge cases and
+// must round-trip exactly).
+func zigzag(v int) uint64 { return uint64((int64(v) << 1) ^ (int64(v) >> 63)) }
+
+func unzigzag(u uint64) int { return int(int64(u>>1) ^ -int64(u&1)) }

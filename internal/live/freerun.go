@@ -1,0 +1,562 @@
+package live
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/phonecall"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// tagHoldings marks messages whose Value is a rumor-holdings bitmask (the
+// live twin of the scenario protocols' encoding: one uint64, charged one
+// b-bit payload per carried rumor).
+const tagHoldings uint8 = 111
+
+// FreeRunConfig configures a free-running execution.
+type FreeRunConfig struct {
+	// N is the number of nodes (required, >= 2).
+	N int
+	// Seed drives the deterministic parts: node IDs, and each node's random
+	// contact for its local round r (the model's stateless hash, so a node's
+	// contact sequence is reproducible even though timing is not).
+	Seed uint64
+	// Rounds is the per-node local round budget (required, >= 1).
+	Rounds int
+	// MaxSkew bounds how many rounds a node may run ahead of the slowest
+	// live node (default 3). This is the flow control that replaces the
+	// global barrier.
+	MaxSkew int
+	// Algorithm is the steppable gossip protocol (push, pull, push-pull;
+	// default push-pull).
+	Algorithm scenario.Algorithm
+	// PayloadBits is the per-rumor payload size b (default 256).
+	PayloadBits int
+	// Events is a scenario timeline. Events fire when the round frontier
+	// (the minimum local round among live nodes) reaches them: CrashAt kills
+	// nodes, JoinAt revives them uninformed at the frontier, InjectRumor
+	// seeds holdings, Loss retunes the transport's drop injection (when the
+	// transport supports it). Without an InjectRumor event node 0 starts
+	// holding rumor 0.
+	Events []scenario.Event
+	// Transport carries the frames; nil gets a private zero-delay channel
+	// mesh. Lossy and delaying transports are the point of this mode.
+	Transport Transport
+}
+
+// frStats is one node's cumulative accounting, cache-line padded; written by
+// the owner goroutine, read after the run joins.
+type frStats struct {
+	msgs     int64
+	control  int64
+	bits     int64
+	sent     int64
+	maxComms int32
+	_        [28]byte // pad to 64 bytes so adjacent nodes do not false-share
+}
+
+// FreeRun executes gossip without a global barrier: every node advances its
+// own round clock, sending and draining frames as it goes, while a monitor
+// goroutine maintains the round frontier, enforces the skew bound, fires
+// timeline events and detects convergence.
+type FreeRun struct {
+	cfg  FreeRunConfig
+	algo scenario.Algorithm
+	net  *phonecall.Network // ID directory and message sizing only; its engine never runs
+	tr   Transport
+	own  bool
+
+	liveFlag   []atomic.Bool
+	held       []atomic.Uint64
+	registered atomic.Uint64
+	roundOf    []atomic.Int64 // last completed local round
+	resume     []atomic.Int64 // frontier to rejoin at after a revive
+
+	minRound     atomic.Int64
+	stopped      atomic.Bool
+	completionAt atomic.Int64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	events  []scenario.Event
+	nextEv  int
+	ignored int // events the runtime could not honor
+
+	stats    []frStats
+	overhead int
+	wg       sync.WaitGroup
+}
+
+// Report is the outcome of a free-running execution.
+type Report struct {
+	N        int
+	Live     int
+	Informed int // live nodes holding every injected rumor
+	// AllInformed reports convergence: every live node held every rumor.
+	AllInformed bool
+	// Rounds is the configured budget; MaxRound the furthest local clock.
+	Rounds   int
+	MaxRound int
+	// CompletionFrontier is the round frontier at the moment the monitor
+	// first detected convergence (0 = never converged within the budget) —
+	// the free-running analogue of a completion round. Like the scenario
+	// driver's CompletionRound, the first completion is what is recorded:
+	// later churn (a joiner arriving uninformed) does not clear it.
+	CompletionFrontier int
+	// Traffic totals, charged with the simulator's bit accounting.
+	Messages        int64
+	ControlMessages int64
+	Bits            int64
+	// MaxComms is the most communications any node participated in during
+	// one of its local rounds.
+	MaxComms int
+	// Drops counts transport-level loss injections (channel transport).
+	Drops int64
+	// UnfiredEvents counts timeline events past the final frontier;
+	// IgnoredEvents counts events the runtime could not honor (for example a
+	// Loss event on a transport without loss injection).
+	UnfiredEvents int
+	IgnoredEvents int
+	// Wall is the end-to-end execution time.
+	Wall time.Duration
+}
+
+// Trace maps the report onto the repository's common result type so live
+// runs flow through the same tables and comparisons as simulated ones.
+func (rep Report) Trace(algorithm string, seed uint64) trace.Result {
+	res := trace.Result{
+		Algorithm:        algorithm,
+		N:                rep.N,
+		Seed:             seed,
+		Rounds:           rep.MaxRound,
+		CompletionRound:  rep.CompletionFrontier,
+		Messages:         rep.Messages,
+		ControlMessages:  rep.ControlMessages,
+		Bits:             rep.Bits,
+		MaxCommsPerRound: rep.MaxComms,
+		Live:             rep.Live,
+		Informed:         rep.Informed,
+		AllInformed:      rep.AllInformed,
+	}
+	if rep.N > 0 {
+		res.MessagesPerNode = float64(rep.Messages+rep.ControlMessages) / float64(rep.N)
+	}
+	return res
+}
+
+// NewFreeRun validates the configuration and prepares a run.
+func NewFreeRun(cfg FreeRunConfig) (*FreeRun, error) {
+	if err := validateN(cfg.N); err != nil {
+		return nil, err
+	}
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("live: free-running needs a round budget >= 1 (got %d)", cfg.Rounds)
+	}
+	if cfg.MaxSkew < 1 {
+		cfg.MaxSkew = 3
+	}
+	switch cfg.Algorithm {
+	case "":
+		cfg.Algorithm = scenario.AlgoPushPull
+	case scenario.AlgoPush, scenario.AlgoPull, scenario.AlgoPushPull:
+	default:
+		return nil, fmt.Errorf("live: unknown algorithm %q (have push, pull, push-pull)", cfg.Algorithm)
+	}
+	net, err := phonecall.New(phonecall.Config{N: cfg.N, Seed: cfg.Seed, PayloadBits: cfg.PayloadBits, Workers: 1})
+	if err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	tr := cfg.Transport
+	own := false
+	if tr == nil {
+		if tr, err = NewChannelTransport(cfg.N, ChannelConfig{}); err != nil {
+			return nil, err
+		}
+		own = true
+	}
+	if tr.N() != cfg.N {
+		return nil, fmt.Errorf("live: transport has %d endpoints for %d nodes", tr.N(), cfg.N)
+	}
+	fr := &FreeRun{
+		cfg:      cfg,
+		algo:     cfg.Algorithm,
+		net:      net,
+		tr:       tr,
+		own:      own,
+		liveFlag: make([]atomic.Bool, cfg.N),
+		held:     make([]atomic.Uint64, cfg.N),
+		roundOf:  make([]atomic.Int64, cfg.N),
+		resume:   make([]atomic.Int64, cfg.N),
+		stats:    make([]frStats, cfg.N),
+		overhead: net.MessageSize(phonecall.Message{Tag: tagHoldings}),
+	}
+	fr.cond = sync.NewCond(&fr.mu)
+	for i := range fr.liveFlag {
+		fr.liveFlag[i].Store(true)
+	}
+	fr.events = append(fr.events, cfg.Events...)
+	sort.SliceStable(fr.events, func(a, b int) bool {
+		return fr.events[a].EventRound() < fr.events[b].EventRound()
+	})
+	hasInject := false
+	for _, ev := range fr.events {
+		if _, ok := ev.(scenario.InjectRumor); ok {
+			hasInject = true
+		}
+	}
+	if !hasInject {
+		fr.events = append([]scenario.Event{scenario.InjectRumor{At: 1, Node: 0, Rumor: 0}}, fr.events...)
+	}
+	return fr, nil
+}
+
+// Run executes the workload to convergence, budget exhaustion or timeline
+// end, and returns the report. Run may be called once.
+func (fr *FreeRun) Run() (Report, error) {
+	start := time.Now()
+	for i := 0; i < fr.cfg.N; i++ {
+		fr.wg.Add(1)
+		go fr.nodeLoop(i)
+	}
+	monitorDone := make(chan struct{})
+	go fr.monitor(monitorDone)
+	fr.wg.Wait()
+	// All nodes exited; make sure the monitor observes the stop.
+	fr.stop()
+	<-monitorDone
+	if fr.own {
+		fr.tr.Close()
+	}
+
+	rep := Report{N: fr.cfg.N, Rounds: fr.cfg.Rounds, Wall: time.Since(start)}
+	reg := fr.registered.Load()
+	for i := 0; i < fr.cfg.N; i++ {
+		st := &fr.stats[i]
+		rep.Messages += st.msgs
+		rep.ControlMessages += st.control
+		rep.Bits += st.bits
+		if int(st.maxComms) > rep.MaxComms {
+			rep.MaxComms = int(st.maxComms)
+		}
+		if r := int(fr.roundOf[i].Load()); r > rep.MaxRound {
+			rep.MaxRound = r
+		}
+		if fr.liveFlag[i].Load() {
+			rep.Live++
+			if fr.held[i].Load()&reg == reg {
+				rep.Informed++
+			}
+		}
+	}
+	rep.AllInformed = reg != 0 && rep.Live > 0 && rep.Informed == rep.Live
+	rep.CompletionFrontier = int(fr.completionAt.Load())
+	rep.UnfiredEvents = len(fr.events) - fr.nextEv
+	rep.IgnoredEvents = fr.ignored
+	if ct, ok := fr.tr.(*ChannelTransport); ok {
+		rep.Drops = ct.Drops()
+	}
+	return rep, nil
+}
+
+// stop halts every node and wakes all waiters.
+func (fr *FreeRun) stop() {
+	fr.mu.Lock()
+	fr.stopped.Store(true)
+	fr.cond.Broadcast()
+	fr.mu.Unlock()
+}
+
+// monitor maintains the frontier, fires timeline events, and detects
+// convergence and natural termination. It is the only writer of minRound,
+// membership and registration.
+func (fr *FreeRun) monitor(done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(500 * time.Microsecond)
+	defer ticker.Stop()
+	for !fr.stopped.Load() {
+		<-ticker.C
+		fr.tick()
+	}
+}
+
+// tick runs one monitor pass.
+func (fr *FreeRun) tick() {
+	frontier := fr.frontier()
+
+	// Fire every event the frontier has reached: an event at round r fires
+	// once no live node is still below round r-1 — the closest free-running
+	// analogue of "at the start of round r".
+	for fr.nextEv < len(fr.events) && int64(fr.events[fr.nextEv].EventRound()) <= frontier+1 {
+		fr.apply(fr.events[fr.nextEv], frontier)
+		fr.nextEv++
+		frontier = fr.frontier()
+	}
+
+	// Publish the frontier and wake skew waiters.
+	if frontier != fr.minRound.Load() {
+		fr.mu.Lock()
+		fr.minRound.Store(frontier)
+		fr.cond.Broadcast()
+		fr.mu.Unlock()
+	}
+
+	// Convergence: every live node holds every injected rumor.
+	reg := fr.registered.Load()
+	liveCount, informed, allDone := 0, 0, true
+	for i := 0; i < fr.cfg.N; i++ {
+		if !fr.liveFlag[i].Load() {
+			continue
+		}
+		liveCount++
+		if fr.held[i].Load()&reg == reg {
+			informed++
+		}
+		if fr.roundOf[i].Load() < int64(fr.cfg.Rounds) {
+			allDone = false
+		}
+	}
+	if reg != 0 && liveCount > 0 && informed == liveCount {
+		fr.completionAt.CompareAndSwap(0, max(frontier, 1))
+		if fr.nextEv >= len(fr.events) {
+			fr.stop()
+			return
+		}
+	}
+	// Natural end: every live node exhausted its budget (or nobody is left).
+	// The frontier can no longer advance, so any event still pending is
+	// beyond frontier+1 and can never fire — stopping here (instead of
+	// waiting for the full timeline) is what keeps a timeline scheduled past
+	// the budget from hanging the run; the leftovers are reported as
+	// UnfiredEvents, the free-running analogue of the sim harness's
+	// "event(s) never fired" error.
+	if (allDone || liveCount == 0) &&
+		(fr.nextEv >= len(fr.events) || int64(fr.events[fr.nextEv].EventRound()) > frontier+1) {
+		fr.stop()
+	}
+}
+
+// frontier computes the minimum local round among live nodes; with nobody
+// alive it parks at the budget so remaining events still fire.
+func (fr *FreeRun) frontier() int64 {
+	min := int64(fr.cfg.Rounds)
+	for i := 0; i < fr.cfg.N; i++ {
+		if !fr.liveFlag[i].Load() {
+			continue
+		}
+		if r := fr.roundOf[i].Load(); r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// apply fires one timeline event at the given frontier.
+func (fr *FreeRun) apply(ev scenario.Event, frontier int64) {
+	switch e := ev.(type) {
+	case scenario.CrashAt:
+		fr.mu.Lock()
+		for _, i := range e.Nodes {
+			if i >= 0 && i < fr.cfg.N {
+				fr.liveFlag[i].Store(false)
+			}
+		}
+		fr.cond.Broadcast() // membership changed; skew waiters re-evaluate
+		fr.mu.Unlock()
+	case scenario.JoinAt:
+		fr.mu.Lock()
+		for _, i := range e.Nodes {
+			if i >= 0 && i < fr.cfg.N && !fr.liveFlag[i].Load() {
+				fr.held[i].Store(0) // rejoin uninformed, then go live
+				fr.resume[i].Store(frontier)
+				fr.roundOf[i].Store(frontier)
+				fr.liveFlag[i].Store(true)
+			}
+		}
+		fr.cond.Broadcast()
+		fr.mu.Unlock()
+	case scenario.Loss:
+		if ls, ok := fr.tr.(LossSetter); ok {
+			ls.SetLoss(e.Rate, e.Seed)
+		} else {
+			fr.ignored++
+		}
+	case scenario.InjectRumor:
+		if e.Node < 0 || e.Node >= fr.cfg.N || e.Rumor >= phonecall.MaxRumors {
+			fr.ignored++
+			return
+		}
+		fr.registered.Or(1 << e.Rumor)
+		fr.mergeHeld(e.Node, 1<<e.Rumor)
+	default:
+		fr.ignored++
+	}
+}
+
+// mergeHeld ORs mask into node i's holdings.
+func (fr *FreeRun) mergeHeld(i int, mask uint64) {
+	fr.held[i].Or(mask)
+}
+
+// waitSkew blocks while local round r is more than MaxSkew ahead of the
+// frontier; returns false when the run stopped.
+func (fr *FreeRun) waitSkew(r int) bool {
+	if fr.stopped.Load() {
+		return false
+	}
+	if int64(r)-fr.minRound.Load() <= int64(fr.cfg.MaxSkew) {
+		return true
+	}
+	fr.mu.Lock()
+	for !fr.stopped.Load() && int64(r)-fr.minRound.Load() > int64(fr.cfg.MaxSkew) {
+		fr.cond.Wait()
+	}
+	fr.mu.Unlock()
+	return !fr.stopped.Load()
+}
+
+// waitAlive parks a crashed node until it is revived; returns false when the
+// run stopped first.
+func (fr *FreeRun) waitAlive(i int) bool {
+	fr.mu.Lock()
+	for !fr.stopped.Load() && !fr.liveFlag[i].Load() {
+		fr.cond.Wait()
+	}
+	fr.mu.Unlock()
+	return !fr.stopped.Load()
+}
+
+// nodeLoop is one node's free-running event loop.
+func (fr *FreeRun) nodeLoop(i int) {
+	defer fr.wg.Done()
+	var drain [][]byte
+	r := 1
+	for r <= fr.cfg.Rounds && !fr.stopped.Load() {
+		if !fr.liveFlag[i].Load() {
+			// A crashed process receives nothing: discard whatever is queued,
+			// park until revived, and discard again what accumulated while
+			// dead — otherwise a JoinAt-revived node would drain its dead-
+			// period backlog, re-learning rumors it rejoined without and
+			// charging the stale frames as communications.
+			drain = discard(fr.tr.Mailbox(i).TryDrain(drain[:0]))
+			if !fr.waitAlive(i) {
+				return
+			}
+			drain = discard(fr.tr.Mailbox(i).TryDrain(drain[:0]))
+			if res := int(fr.resume[i].Load()); res+1 > r {
+				r = res + 1
+			}
+			continue
+		}
+		if !fr.waitSkew(r) {
+			return
+		}
+		drain = fr.doRound(i, r, drain)
+		fr.roundOf[i].Store(int64(r))
+		r++
+	}
+}
+
+// discard drops drained frames, keeping the reusable buffer.
+func discard(frames [][]byte) [][]byte { return frames[:0] }
+
+// holdingsMsg encodes a holdings bitmask, charged one payload per rumor.
+func (fr *FreeRun) holdingsMsg(held uint64) phonecall.Message {
+	return phonecall.Message{
+		Tag:   tagHoldings,
+		Value: held,
+		Rumor: true,
+		Bits:  fr.overhead + bits.OnesCount64(held)*fr.net.PayloadBits(),
+	}
+}
+
+// doRound runs node i's local round r: initiate one call per the protocol,
+// drain whatever arrived, answer pulls, merge received holdings.
+func (fr *FreeRun) doRound(i, r int, drain [][]byte) [][]byte {
+	st := &fr.stats[i]
+	reg := fr.registered.Load()
+	held := fr.held[i].Load() & reg
+	comms := int32(0)
+
+	sendPayload := func(j int, wantsPull bool) {
+		m := fr.holdingsMsg(held)
+		m.From = fr.net.ID(i)
+		st.msgs++
+		st.bits += int64(fr.net.MessageSize(m))
+		st.sent++
+		fr.tr.Send(i, j, appendCallFrame(nil, r, i, true, wantsPull, &m))
+	}
+	sendPull := func(j int) {
+		st.control++
+		st.bits += int64(fr.net.ControlBits())
+		st.sent++
+		fr.tr.Send(i, j, appendCallFrame(nil, r, i, false, true, nil))
+	}
+
+	initiated := false
+	j := phonecall.RandomPeer(fr.cfg.N, fr.cfg.Seed, r, i)
+	switch fr.algo {
+	case scenario.AlgoPush:
+		if held != 0 {
+			sendPayload(j, false)
+			initiated = true
+		}
+	case scenario.AlgoPull:
+		if held != reg || reg == 0 {
+			sendPull(j)
+			initiated = true
+		}
+	default: // push-pull
+		if held != 0 {
+			sendPayload(j, true)
+		} else {
+			sendPull(j)
+		}
+		initiated = true
+	}
+	if initiated {
+		comms++
+	}
+
+	drain = fr.tr.Mailbox(i).TryDrain(drain[:0])
+	var gained uint64
+	for _, raw := range drain {
+		f, err := parseFrame(raw)
+		if err != nil {
+			continue
+		}
+		if f.hasPayload && f.msg.Tag == tagHoldings {
+			gained |= f.msg.Value
+		}
+		if f.typ != frameCall {
+			continue
+		}
+		comms++
+		if f.wantsPull {
+			// Respond immediately with current holdings (plus whatever this
+			// drain just taught us — a real process would answer with its
+			// freshest state).
+			h := (fr.held[i].Load() | gained) & fr.registered.Load()
+			if h != 0 && fr.algo != scenario.AlgoPush {
+				m := fr.holdingsMsg(h)
+				m.From = fr.net.ID(i)
+				st.msgs++
+				st.bits += int64(fr.net.MessageSize(m))
+				st.sent++
+				fr.tr.Send(i, f.src, appendRespFrame(nil, r, i, &m))
+			}
+		}
+	}
+	if gained != 0 {
+		fr.mergeHeld(i, gained&fr.registered.Load())
+	}
+	if comms > st.maxComms {
+		st.maxComms = comms
+	}
+	return drain
+}

@@ -1,0 +1,232 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// TestFreeRunInformsAllUnderDrop is the free-running acceptance gate: 1000
+// nodes on the channel mesh with 5% deterministic-seeded frame loss must all
+// learn the rumor well within the budget, with the completion monitor
+// detecting convergence.
+func TestFreeRunInformsAllUnderDrop(t *testing.T) {
+	tr, err := NewChannelTransport(1000, ChannelConfig{Drop: 0.05, DropSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	fr, err := NewFreeRun(FreeRunConfig{
+		N:         1000,
+		Seed:      7,
+		Rounds:    150,
+		Transport: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllInformed {
+		t.Fatalf("not all live nodes informed: %+v", rep)
+	}
+	if rep.CompletionFrontier == 0 {
+		t.Fatalf("completion monitor never fired: %+v", rep)
+	}
+	if rep.Drops == 0 {
+		t.Fatalf("5%% loss injection dropped nothing: %+v", rep)
+	}
+	if rep.Messages == 0 || rep.Bits == 0 {
+		t.Fatalf("no traffic accounted: %+v", rep)
+	}
+	res := rep.Trace("free-push-pull", 7)
+	if res.N != 1000 || !res.AllInformed || res.CompletionRound != rep.CompletionFrontier {
+		t.Fatalf("trace mapping broken: %+v", res)
+	}
+}
+
+// TestFreeRunChurnTimeline drives a crash wave and an uninformed rejoin
+// through the frontier-triggered event path: the rejoined nodes must still
+// converge (the joiners come back empty and have to re-learn the rumor).
+func TestFreeRunChurnTimeline(t *testing.T) {
+	crash := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	fr, err := NewFreeRun(FreeRunConfig{
+		N:      300,
+		Seed:   11,
+		Rounds: 200,
+		Events: []scenario.Event{
+			scenario.InjectRumor{At: 1, Node: 0, Rumor: 3},
+			scenario.CrashAt{At: 4, Nodes: crash},
+			scenario.JoinAt{At: 12, Nodes: crash},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Live != 300 {
+		t.Fatalf("rejoin did not restore the population: %+v", rep)
+	}
+	if !rep.AllInformed {
+		t.Fatalf("churned run did not converge: %+v", rep)
+	}
+	if rep.UnfiredEvents != 0 {
+		t.Fatalf("%d timeline events never fired: %+v", rep.UnfiredEvents, rep)
+	}
+}
+
+// TestFreeRunReviveDiscardsDeadBacklog pins the crashed-mailbox contract: a
+// node revived long after crashing must not drain the frames that piled up
+// while it was dead — neither re-learning the rumor from stale traffic nor
+// charging the backlog as one round's communications (which would corrupt Δ).
+// With n=2, the lone live peer pushes to the dead node every round, so
+// without the discard the revived node would instantly hold the rumor and
+// report MaxComms on the order of the dead period.
+func TestFreeRunReviveDiscardsDeadBacklog(t *testing.T) {
+	fr, err := NewFreeRun(FreeRunConfig{
+		N:         2,
+		Seed:      1,
+		Rounds:    120,
+		Algorithm: scenario.AlgoPush,
+		Events: []scenario.Event{
+			scenario.InjectRumor{At: 1, Node: 0, Rumor: 0},
+			scenario.CrashAt{At: 3, Nodes: []int{1}},
+			scenario.JoinAt{At: 100, Nodes: []int{1}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxComms > 10 {
+		t.Fatalf("revived node processed its dead-period backlog: Δ=%d (%+v)", rep.MaxComms, rep)
+	}
+}
+
+// TestFreeRunLossEvent checks that a Loss event retunes the channel mesh
+// mid-run through the LossSetter capability.
+func TestFreeRunLossEvent(t *testing.T) {
+	tr, err := NewChannelTransport(200, ChannelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	fr, err := NewFreeRun(FreeRunConfig{
+		N:         200,
+		Seed:      3,
+		Rounds:    150,
+		Transport: tr,
+		Events: []scenario.Event{
+			scenario.InjectRumor{At: 1, Node: 0, Rumor: 0},
+			scenario.Loss{At: 2, Rate: 0.2, Seed: 5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Drops == 0 {
+		t.Fatalf("loss event did not reach the transport: %+v", rep)
+	}
+	if rep.IgnoredEvents != 0 {
+		t.Fatalf("loss event reported as ignored: %+v", rep)
+	}
+	if !rep.AllInformed {
+		t.Fatalf("run under 20%% loss did not converge: %+v", rep)
+	}
+}
+
+// TestFreeRunPullOnly exercises the anti-entropy variant: only uninformed
+// nodes initiate, so convergence relies on the pull/response path.
+func TestFreeRunPullOnly(t *testing.T) {
+	fr, err := NewFreeRun(FreeRunConfig{N: 200, Seed: 5, Rounds: 200, Algorithm: scenario.AlgoPull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllInformed {
+		t.Fatalf("pull-only run did not converge: %+v", rep)
+	}
+	if rep.ControlMessages == 0 {
+		t.Fatalf("pull-only run charged no control messages: %+v", rep)
+	}
+}
+
+// TestFreeRunLateEventsDoNotHang pins the termination contract: a timeline
+// event scheduled past the round budget can never fire once every live node
+// has exhausted its budget — the run must end and report it as unfired
+// (the free-running analogue of the sim harness's "never fired" error),
+// not block forever on the parked crashed node.
+func TestFreeRunLateEventsDoNotHang(t *testing.T) {
+	fr, err := NewFreeRun(FreeRunConfig{
+		N:      16,
+		Seed:   1,
+		Rounds: 20,
+		Events: []scenario.Event{
+			scenario.InjectRumor{At: 1, Node: 0, Rumor: 0},
+			scenario.CrashAt{At: 3, Nodes: []int{1}},
+			scenario.JoinAt{At: 50, Nodes: []int{1}}, // past the budget
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		rep Report
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rep, err := fr.Run()
+		done <- outcome{rep, err}
+	}()
+	select {
+	case o := <-done:
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if o.rep.UnfiredEvents != 1 {
+			t.Fatalf("want the past-budget JoinAt reported as 1 unfired event: %+v", o.rep)
+		}
+		if o.rep.Live != 15 {
+			t.Fatalf("crashed node counted live: %+v", o.rep)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("free-running run with a past-budget event hung")
+	}
+}
+
+// TestFreeRunValidation pins the constructor error paths.
+func TestFreeRunValidation(t *testing.T) {
+	if _, err := NewFreeRun(FreeRunConfig{N: 1, Rounds: 10}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := NewFreeRun(FreeRunConfig{N: 10, Rounds: 0}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := NewFreeRun(FreeRunConfig{N: 10, Rounds: 5, Algorithm: "bogus"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	small, err := NewChannelTransport(4, ChannelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFreeRun(FreeRunConfig{N: 10, Rounds: 5, Transport: small}); err == nil {
+		t.Error("size-mismatched transport accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package live
+
+// Native fuzz target extending the PR 3 differential harness to the live
+// runtime: the lock-step executor must stay bit-identical to the reference
+// oracle for fuzzer-chosen sizes, seeds, loss rates and churn scripts.
+//
+//	go test ./internal/live -run=NONE -fuzz=FuzzLockStepVsOracle -fuzztime=30s
+
+import (
+	"testing"
+
+	"repro/internal/oracle"
+	"repro/internal/phonecall"
+)
+
+func FuzzLockStepVsOracle(f *testing.F) {
+	f.Add(uint16(24), uint64(1), uint64(2), uint64(3), uint8(6), uint8(0))
+	f.Add(uint16(200), uint64(4), uint64(5), uint64(6), uint8(8), uint8(30))
+	f.Add(uint16(2), uint64(7), uint64(8), uint64(9), uint8(4), uint8(95))
+	f.Add(uint16(333), uint64(10), uint64(11), uint64(12), uint8(10), uint8(50))
+	f.Fuzz(func(t *testing.T, n uint16, netSeed, protoSeed, churnSeed uint64, rounds, lossPct uint8) {
+		sc := oracle.Script{
+			// Bounded sizes: every execution spins up a goroutine per node.
+			N:         2 + int(n)%499,
+			Rounds:    1 + int(rounds)%10,
+			NetSeed:   netSeed,
+			ProtoSeed: protoSeed,
+			LossRate:  float64(lossPct%101) / 100,
+			LossSeed:  netSeed ^ 0x10c0,
+			Churn:     true,
+			ChurnSeed: churnSeed,
+		}
+		liveNet, err := phonecall.New(phonecall.Config{N: sc.N, Seed: sc.NetSeed, PoisonInbox: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls, err := NewLockStep(liveNet, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ls.Close()
+		orc, err := oracle.New(phonecall.Config{N: sc.N, Seed: sc.NetSeed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.Compare(liveNet, orc, sc); err != nil {
+			t.Fatal(err)
+		}
+		if err := ls.Err(); err != nil {
+			t.Fatalf("runtime: %v", err)
+		}
+	})
+}

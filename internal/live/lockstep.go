@@ -1,0 +1,432 @@
+package live
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/phonecall"
+)
+
+// LockStep runs a phonecall.Network's rounds as goroutine-per-node message
+// passing over a synchronous transport, through the Network's RoundExecutor
+// seam. Each round is three barrier-separated phases:
+//
+//	calls    every live node evaluates its intent on its own goroutine,
+//	         resolves its target (random contacts and loss drops through the
+//	         model's stateless hashes, phonecall.RandomPeer / CallLost; direct
+//	         addresses through the shared read-only ID directory) and sends
+//	         one call frame; it charges everything the engine charges on the
+//	         initiator side.
+//	process  every node drains its mailbox: dead nodes discard (a crashed
+//	         process receives nothing — the live-participant rule falls out
+//	         of the runtime instead of being simulated), live nodes charge
+//	         one communication per arriving call, collect pushed payloads,
+//	         and answer pulls by evaluating responseOf once and sending the
+//	         single address-oblivious response frame to every puller.
+//	deliver  every node drains the response frames, orders its inbox by
+//	         initiator index (its own pulled response at its own position —
+//	         the engine's documented order), and invokes deliver.
+//
+// The coordinator (the algorithm driver's goroutine, inside ExecRound) merges
+// the per-node stats into a RoundDelta, so metrics, trace phases and round
+// reports are bit-identical to the sharded engine's. That equivalence is the
+// conformance gate: the lock-step runtime is diffed against the
+// internal/oracle reference with the PR 3 harness.
+type LockStep struct {
+	net *phonecall.Network
+	tr  Transport
+	n   int
+	own bool // runtime owns (and closes) the transport
+
+	curIntent   func(i int) phonecall.Intent
+	curResponse func(i int) (phonecall.Message, bool)
+	curDeliver  func(i int, inbox []phonecall.Message)
+
+	cmd  []chan lsCmd
+	ack  chan lsAck
+	sent []int64
+	wg   *sync.WaitGroup
+
+	errMu  sync.Mutex
+	errVal error
+
+	closed bool
+}
+
+// Lock-step phases.
+const (
+	phaseCalls uint8 = iota + 1
+	phaseProcess
+	phaseDeliver
+	phaseStop
+)
+
+// lsCmd is one phase of work handed to a node goroutine. Like the engine's
+// passReq, it carries the runtime pointer with every request so the node
+// goroutines themselves never retain it: an abandoned Network (and with it
+// the LockStep) becomes collectible, and a runtime cleanup closes the
+// command channels to release the goroutines.
+type lsCmd struct {
+	ls    *LockStep
+	phase uint8
+	round int
+}
+
+// lsStats is one node's per-round accounting, mirroring the engine's
+// workerStats plus the per-node sent counter.
+type lsStats struct {
+	msgs    int64
+	control int64
+	bits    int64
+	sent    int64
+	comms   int32
+}
+
+type lsAck struct {
+	node  int
+	stats lsStats
+}
+
+// lsNode is the state owned by one node goroutine.
+type lsNode struct {
+	idx      int
+	inbox    []lsEntry // this round's collected inbox, keyed by initiator index
+	pullers  []int     // initiators whose pulls reached this node
+	heldResp []frame   // response frames that arrived during the process phase
+	drain    [][]byte
+	delivery []phonecall.Message
+	stats    lsStats
+}
+
+// lsEntry is one inbox slot before ordering.
+type lsEntry struct {
+	key int // initiator index; a pulled response uses the receiver's own index
+	msg phonecall.Message
+}
+
+// NewLockStep starts n node goroutines over the transport and installs the
+// runtime as net's round executor. A nil transport gets a private zero-delay
+// channel mesh (loss injection comes from the Network's own SetLoss state, so
+// scenario timelines keep working). Close the runtime to restore the built-in
+// engine.
+func NewLockStep(net *phonecall.Network, tr Transport) (*LockStep, error) {
+	own := false
+	if tr == nil {
+		var err error
+		if tr, err = NewChannelTransport(net.N(), ChannelConfig{}); err != nil {
+			return nil, err
+		}
+		own = true
+	}
+	if tr.N() != net.N() {
+		return nil, fmt.Errorf("live: transport has %d endpoints for %d nodes", tr.N(), net.N())
+	}
+	if !tr.Synchronous() {
+		return nil, fmt.Errorf("live: lock-step needs a synchronous transport (zero-delay channel mesh)")
+	}
+	ls := &LockStep{
+		net:  net,
+		tr:   tr,
+		n:    net.N(),
+		own:  own,
+		cmd:  make([]chan lsCmd, net.N()),
+		ack:  make(chan lsAck, net.N()),
+		sent: make([]int64, net.N()),
+		wg:   new(sync.WaitGroup),
+	}
+	for i := range ls.cmd {
+		ls.cmd[i] = make(chan lsCmd, 1)
+	}
+	for i := 0; i < ls.n; i++ {
+		ls.wg.Add(1)
+		go lockStepNode(i, ls.cmd[i], ls.ack, ls.wg)
+	}
+	// Nodes hold only their channels, never the runtime: once the LockStep
+	// (and the Network referencing it) is dropped without Close, the cleanup
+	// releases the goroutines.
+	runtime.AddCleanup(ls, func(chs []chan lsCmd) {
+		for _, ch := range chs {
+			close(ch)
+		}
+	}, ls.cmd)
+	net.SetExecutor(ls)
+	return ls, nil
+}
+
+// Transport returns the transport the runtime exchanges frames over.
+func (ls *LockStep) Transport() Transport { return ls.tr }
+
+// Err returns the first node-side failure (a frame that failed to decode —
+// impossible under the in-tree transports unless a transport corrupts data).
+func (ls *LockStep) Err() error {
+	ls.errMu.Lock()
+	defer ls.errMu.Unlock()
+	return ls.errVal
+}
+
+func (ls *LockStep) fail(err error) {
+	ls.errMu.Lock()
+	if ls.errVal == nil {
+		ls.errVal = err
+	}
+	ls.errMu.Unlock()
+}
+
+// Close stops the node goroutines and uninstalls the executor; the Network
+// falls back to the built-in engine. Idempotent.
+func (ls *LockStep) Close() error {
+	if ls.closed {
+		return nil
+	}
+	ls.closed = true
+	for i := range ls.cmd {
+		ls.cmd[i] <- lsCmd{phase: phaseStop}
+	}
+	ls.wg.Wait()
+	if ls.net.Executor() == phonecall.RoundExecutor(ls) {
+		ls.net.SetExecutor(nil)
+	}
+	if ls.own {
+		return ls.tr.Close()
+	}
+	return nil
+}
+
+// ExecNetworkRound implements phonecall.RoundExecutor: one barrier-phased
+// round across all node goroutines.
+func (ls *LockStep) ExecNetworkRound(
+	net *phonecall.Network,
+	round int,
+	intentOf func(i int) phonecall.Intent,
+	responseOf func(i int) (phonecall.Message, bool),
+	deliver func(i int, inbox []phonecall.Message),
+) phonecall.RoundDelta {
+	// Published to the node goroutines through the cmd channels'
+	// happens-before edges, like the engine's pass channel.
+	ls.curIntent = intentOf
+	ls.curResponse = responseOf
+	ls.curDeliver = deliver
+
+	clear(ls.sent)
+	delta := phonecall.RoundDelta{Sent: ls.sent}
+	for _, phase := range []uint8{phaseCalls, phaseProcess, phaseDeliver} {
+		for i := range ls.cmd {
+			ls.cmd[i] <- lsCmd{ls: ls, phase: phase, round: round}
+		}
+		for range ls.cmd {
+			a := <-ls.ack
+			if phase == phaseDeliver {
+				st := a.stats
+				delta.Messages += st.msgs
+				delta.Control += st.control
+				delta.Bits += st.bits
+				if int(st.comms) > delta.MaxComms {
+					delta.MaxComms = int(st.comms)
+				}
+				ls.sent[a.node] = st.sent
+			}
+		}
+	}
+	return delta
+}
+
+// lockStepNode is one node's event loop. Deliberately not a LockStep method:
+// it receives the runtime with each command and drops it afterwards, so the
+// goroutines never keep an abandoned runtime alive (see lsCmd).
+func lockStepNode(i int, cmds <-chan lsCmd, ack chan<- lsAck, wg *sync.WaitGroup) {
+	defer wg.Done()
+	nd := &lsNode{idx: i}
+	for cmd := range cmds {
+		switch cmd.phase {
+		case phaseCalls:
+			nd.reset()
+			cmd.ls.doCalls(nd, cmd.round)
+		case phaseProcess:
+			cmd.ls.doProcess(nd, cmd.round)
+		case phaseDeliver:
+			cmd.ls.doDeliver(nd)
+		case phaseStop:
+			return
+		}
+		ack <- lsAck{node: i, stats: nd.stats}
+	}
+}
+
+func (nd *lsNode) reset() {
+	nd.inbox = nd.inbox[:0]
+	nd.pullers = nd.pullers[:0]
+	nd.heldResp = nd.heldResp[:0]
+	nd.stats = lsStats{}
+}
+
+// doCalls evaluates node i's intent, charges the initiator side and sends
+// the call frame. It mirrors the engine's passIntents exactly (including the
+// charges for unresolved, dead-target and lost calls, which the initiator
+// cannot distinguish).
+func (ls *LockStep) doCalls(nd *lsNode, round int) {
+	i := nd.idx
+	net := ls.net
+	if net.IsFailed(i) {
+		return
+	}
+	it := ls.curIntent(i)
+	if it.Kind == phonecall.None {
+		return
+	}
+	// Resolve the target. The initiator cannot know whether the target is
+	// alive — a call to a dead node is simply never received — but calls to
+	// itself, to the NoNode sentinel or to an ID outside the directory go
+	// nowhere by the model's rules.
+	j, resolved := -1, false
+	if it.Target.Random {
+		j, resolved = phonecall.RandomPeer(ls.n, net.Seed(), round, i), true
+	} else if it.Target.ID != phonecall.NoNode {
+		if jj, ok := net.IndexOf(it.Target.ID); ok && jj != i {
+			j, resolved = jj, true
+		}
+	}
+	nd.stats.comms++
+	lost := false
+	if rate := net.LossRate(); rate > 0 && phonecall.CallLost(rate, net.LossSeed(), round, i) {
+		lost = true
+	}
+	send := resolved && !lost
+
+	switch it.Kind {
+	case phonecall.Push:
+		m := it.Payload
+		m.From = net.ID(i)
+		nd.stats.msgs++
+		nd.stats.bits += int64(net.MessageSize(m))
+		nd.stats.sent++
+		if send {
+			ls.tr.Send(i, j, appendCallFrame(nil, round, i, true, false, &m))
+		}
+	case phonecall.Pull, phonecall.Exchange:
+		if it.Kind == phonecall.Exchange && it.Payload.HasContent() {
+			m := it.Payload
+			m.From = net.ID(i)
+			nd.stats.msgs++
+			nd.stats.bits += int64(net.MessageSize(m))
+			nd.stats.sent++
+			if send {
+				ls.tr.Send(i, j, appendCallFrame(nil, round, i, true, true, &m))
+			}
+		} else {
+			nd.stats.control++
+			nd.stats.bits += int64(net.ControlBits())
+			nd.stats.sent++
+			if send {
+				ls.tr.Send(i, j, appendCallFrame(nil, round, i, false, true, nil))
+			}
+		}
+	default:
+		// Out-of-model kinds transmit nothing but still occupy the target's
+		// round (the engine charges the live target one communication), so a
+		// bare contact frame crosses the wire.
+		if send {
+			ls.tr.Send(i, j, appendCallFrame(nil, round, i, false, false, nil))
+		}
+	}
+}
+
+// doProcess drains the calls that reached node i. Dead nodes discard
+// everything unread. Live nodes charge the Δ communications, stage pushed
+// payloads, and answer the round's pulls with one responseOf evaluation.
+func (ls *LockStep) doProcess(nd *lsNode, round int) {
+	i := nd.idx
+	net := ls.net
+	nd.drain = ls.tr.Mailbox(i).TryDrain(nd.drain[:0])
+	if net.IsFailed(i) {
+		return
+	}
+	for _, raw := range nd.drain {
+		fr, err := parseFrame(raw)
+		if err != nil {
+			ls.fail(fmt.Errorf("node %d round %d: %w", i, round, err))
+			continue
+		}
+		if fr.typ == frameResp {
+			// A response can overtake this node's own drain when the
+			// responder processed its mailbox first; it belongs to the
+			// deliver phase.
+			nd.heldResp = append(nd.heldResp, fr)
+			continue
+		}
+		nd.stats.comms++
+		if fr.hasPayload {
+			m := fr.msg
+			m.From = net.ID(fr.src)
+			nd.inbox = append(nd.inbox, lsEntry{key: fr.src, msg: m})
+		}
+		if fr.wantsPull {
+			nd.pullers = append(nd.pullers, fr.src)
+		}
+	}
+	if len(nd.pullers) > 0 && ls.curResponse != nil {
+		m, ok := ls.curResponse(i)
+		if ok {
+			m.From = net.ID(i)
+			size := int64(net.MessageSize(m))
+			k := int64(len(nd.pullers))
+			nd.stats.msgs += k
+			nd.stats.bits += size * k
+			nd.stats.sent += k
+			// One address-oblivious response, one frame per puller. The
+			// encoded bytes are identical, but each Send hands ownership of
+			// its slice to the transport, so encode per puller.
+			for _, p := range nd.pullers {
+				ls.tr.Send(i, p, appendRespFrame(nil, round, i, &m))
+			}
+		}
+	}
+}
+
+// doDeliver collects the response frames, orders the inbox and hands it to
+// the delivery callback.
+func (ls *LockStep) doDeliver(nd *lsNode) {
+	i := nd.idx
+	net := ls.net
+	nd.drain = ls.tr.Mailbox(i).TryDrain(nd.drain[:0])
+	if net.IsFailed(i) {
+		return
+	}
+	resps := nd.heldResp
+	for _, raw := range nd.drain {
+		fr, err := parseFrame(raw)
+		if err != nil || fr.typ != frameResp {
+			ls.fail(fmt.Errorf("node %d: stray frame in deliver phase (err=%v type=%d)", i, err, fr.typ))
+			continue
+		}
+		resps = append(resps, fr)
+	}
+	for _, fr := range resps {
+		m := fr.msg
+		m.From = net.ID(fr.src)
+		// The puller's own response sits at its own initiator position in
+		// the engine's inbox order.
+		nd.inbox = append(nd.inbox, lsEntry{key: i, msg: m})
+	}
+	if len(nd.inbox) == 0 {
+		return
+	}
+	sort.Slice(nd.inbox, func(a, b int) bool { return nd.inbox[a].key < nd.inbox[b].key })
+	if ls.curDeliver == nil {
+		return
+	}
+	nd.delivery = nd.delivery[:0]
+	for _, e := range nd.inbox {
+		nd.delivery = append(nd.delivery, e.msg)
+	}
+	ls.curDeliver(i, nd.delivery)
+	if net.PoisonInbox() {
+		// Same copy-out contract as the engine arena: the slice is recycled
+		// next round, and with poisoning on, a retaining callback reads
+		// unmistakable poison instead of stale traffic.
+		for k := range nd.delivery {
+			nd.delivery[k] = phonecall.PoisonMessage
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// maxUDPFrame bounds one frame to a single loopback datagram. Frames above
+// it (a protocol pushing thousands of IDs in one message) are dropped and
+// counted, mirroring what a real datagram network would do to them.
+const maxUDPFrame = 60 * 1024
+
+// maxUDPNodes caps the mesh size: every node owns one socket, and a mesh
+// near the default file-descriptor limit helps nobody.
+const maxUDPNodes = 512
+
+// UDPTransport exchanges wire frames over per-node UDP sockets on the
+// loopback interface. It is the "real wire" transport: frames are serialized
+// through the same codec as the channel mesh but cross the kernel's network
+// stack, so delivery is asynchronous and — under socket-buffer pressure —
+// lossy. Free-running mode only (Synchronous returns false); the gossip
+// protocols tolerate both properties by design.
+type UDPTransport struct {
+	n        int
+	conns    []*net.UDPConn
+	addrs    []*net.UDPAddr
+	boxes    []*Mailbox
+	oversize atomic.Int64
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// NewUDPTransport binds n loopback sockets (ephemeral ports) and starts one
+// reader goroutine per node.
+func NewUDPTransport(n int) (*UDPTransport, error) {
+	if err := validateN(n); err != nil {
+		return nil, err
+	}
+	if n > maxUDPNodes {
+		return nil, fmt.Errorf("live: UDP mesh capped at %d nodes (got %d); use the channel transport for larger runs", maxUDPNodes, n)
+	}
+	tr := &UDPTransport{
+		n:     n,
+		conns: make([]*net.UDPConn, n),
+		addrs: make([]*net.UDPAddr, n),
+		boxes: make([]*Mailbox, n),
+	}
+	for i := 0; i < n; i++ {
+		conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			tr.Close()
+			return nil, fmt.Errorf("live: bind node %d: %w", i, err)
+		}
+		tr.conns[i] = conn
+		tr.addrs[i] = conn.LocalAddr().(*net.UDPAddr)
+		tr.boxes[i] = newMailbox()
+	}
+	for i := 0; i < n; i++ {
+		tr.wg.Add(1)
+		go tr.read(i)
+	}
+	return tr, nil
+}
+
+// read pumps node i's socket into its mailbox until the socket closes.
+func (tr *UDPTransport) read(i int) {
+	defer tr.wg.Done()
+	buf := make([]byte, maxUDPFrame+1)
+	for {
+		k, _, err := tr.conns[i].ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		frame := make([]byte, k)
+		copy(frame, buf[:k])
+		tr.boxes[i].Put(frame)
+	}
+}
+
+// N implements Transport.
+func (tr *UDPTransport) N() int { return tr.n }
+
+// Mailbox implements Transport.
+func (tr *UDPTransport) Mailbox(i int) *Mailbox { return tr.boxes[i] }
+
+// Synchronous implements Transport: datagrams are in flight after Send
+// returns, so UDP cannot back lock-step barriers.
+func (tr *UDPTransport) Synchronous() bool { return false }
+
+// Oversize returns the number of frames dropped for exceeding one datagram.
+func (tr *UDPTransport) Oversize() int64 { return tr.oversize.Load() }
+
+// Addr returns node i's bound loopback address (for diagnostics).
+func (tr *UDPTransport) Addr(i int) *net.UDPAddr { return tr.addrs[i] }
+
+// Send implements Transport: one frame, one datagram. Write errors drop the
+// frame, exactly like the wire would.
+func (tr *UDPTransport) Send(from, to int, frame []byte) {
+	if tr.closed.Load() || from < 0 || from >= tr.n || to < 0 || to >= tr.n {
+		return
+	}
+	if len(frame) > maxUDPFrame {
+		tr.oversize.Add(1)
+		return
+	}
+	_, _ = tr.conns[from].WriteToUDP(frame, tr.addrs[to])
+}
+
+// Close implements Transport: closes every socket and waits for the readers.
+func (tr *UDPTransport) Close() error {
+	if tr.closed.Swap(true) {
+		return nil
+	}
+	for _, conn := range tr.conns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	tr.wg.Wait()
+	return nil
+}

@@ -1,0 +1,48 @@
+package live
+
+import (
+	"testing"
+
+	"repro/internal/phonecall"
+)
+
+// TestUDPFreeRun runs the free-running push-pull workload over real UDP
+// loopback sockets: the same frames, across the kernel's network stack.
+// Loopback delivery is reliable enough in practice, and the protocol
+// tolerates drops by design, so full convergence within a generous budget is
+// a stable assertion.
+func TestUDPFreeRun(t *testing.T) {
+	tr, err := NewUDPTransport(32)
+	if err != nil {
+		t.Skipf("udp unavailable: %v", err)
+	}
+	defer tr.Close()
+	fr, err := NewFreeRun(FreeRunConfig{N: 32, Seed: 9, Rounds: 400, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllInformed {
+		t.Fatalf("UDP run did not converge: %+v", rep)
+	}
+}
+
+// TestUDPTransportLimits pins the datagram-size drop and the node cap.
+func TestUDPTransportLimits(t *testing.T) {
+	tr, err := NewUDPTransport(2)
+	if err != nil {
+		t.Skipf("udp unavailable: %v", err)
+	}
+	defer tr.Close()
+	huge := phonecall.Message{IDs: make([]phonecall.NodeID, 10000)}
+	tr.Send(0, 1, appendCallFrame(nil, 1, 0, true, false, &huge))
+	if tr.Oversize() != 1 {
+		t.Fatalf("oversize frame not counted (got %d)", tr.Oversize())
+	}
+	if _, err := NewUDPTransport(maxUDPNodes + 1); err == nil {
+		t.Error("over-cap mesh accepted")
+	}
+}

@@ -247,6 +247,15 @@ func (net *Network) ExecRound(
 	if obs != nil {
 		intentOf, responseOf, deliver = net.observedCallbacks(obs, intentOf, responseOf, deliver)
 	}
+	if net.executor != nil {
+		// An external executor (internal/live) runs the round; the Network
+		// merges its delta exactly like the engine's own worker shards.
+		rep := net.runExternal(intentOf, responseOf, deliver)
+		if obs != nil {
+			obs.EndRound(rep)
+		}
+		return rep
+	}
 
 	net.curIntent = intentOf
 	net.curResponse = responseOf

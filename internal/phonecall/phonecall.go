@@ -241,6 +241,10 @@ type Network struct {
 	// observer, when set, taps the round's callback traffic (Observe).
 	observer RoundObserver
 
+	// executor, when set, runs rounds instead of the built-in engine
+	// (SetExecutor; see executor.go).
+	executor RoundExecutor
+
 	// Per-round callbacks, published to the pool workers through the pass
 	// channel's happens-before edge.
 	curIntent   func(i int) Intent
@@ -436,7 +440,7 @@ func (net *Network) controlSize() int { return net.tagBits + net.idBits }
 // passes merely read the cached state.
 func (net *Network) refreshRoundMix() {
 	if net.roundMixRound != net.round {
-		net.roundMix = rng.MixPrefix(net.cfg.Seed, 0xc0ffee, uint64(net.round))
+		net.roundMix = rng.MixPrefix(net.cfg.Seed, randomTargetTag, uint64(net.round))
 		net.roundMixRound = net.round
 	}
 }
@@ -459,7 +463,7 @@ func (net *Network) resolveRandom(initiator int) int {
 // current round. Coordinator-only, like refreshRoundMix.
 func (net *Network) refreshLossMix() {
 	if net.lossMixRound != net.round {
-		net.lossMix = rng.MixPrefix(net.lossSeed, 0x70ca1, uint64(net.round))
+		net.lossMix = rng.MixPrefix(net.lossSeed, lossTag, uint64(net.round))
 		net.lossMixRound = net.round
 	}
 }
@@ -470,7 +474,7 @@ func (net *Network) refreshLossMix() {
 // any worker count and evaluation order. Only called when lossRate > 0.
 func (net *Network) dropCall(initiator int) bool {
 	h := net.lossMix.Absorb(uint64(initiator)).Finalize(4)
-	return float64(h>>11)/float64(1<<53) < net.lossRate
+	return rng.Unit(h) < net.lossRate
 }
 
 // resolveTarget maps a target to a node index.

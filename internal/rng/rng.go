@@ -103,9 +103,18 @@ func (r *Source) Intn(n int) int {
 	return int(hi)
 }
 
+// Unit maps 64 random bits onto a uniformly distributed float64 in [0, 1)
+// with 53-bit precision. It is the single definition of the hash→[0,1)
+// mapping the stateless decision contracts (per-call loss, transport drop
+// and jitter injection) are documented against; the reference oracle
+// deliberately re-implements it rather than sharing this code.
+func Unit(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
 // Float64 returns a uniformly distributed float64 in [0, 1).
 func (r *Source) Float64() float64 {
-	return float64(r.Uint64()>>11) / float64(1<<53)
+	return Unit(r.Uint64())
 }
 
 // Bernoulli returns true with probability p. Probabilities outside [0, 1] are

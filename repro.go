@@ -185,7 +185,7 @@ func DeltaLowerBound(n, delta int) float64 { return lowerbound.DeltaBound(n, del
 // AlgoClusterPushPull.
 const MinDelta = core.MinDelta
 
-// Experiment regenerates one of the paper-reproduction tables (E1–E7, see
+// Experiment regenerates one of the paper-reproduction tables (E1–E9, see
 // DESIGN.md and EXPERIMENTS.md) over the given network sizes and seeds and
 // returns it rendered as text. Empty slices select the default sweep.
 func Experiment(id string, sizes []int, seeds []uint64) (string, error) {

@@ -126,7 +126,7 @@ func TestExperimentRendering(t *testing.T) {
 	if _, err := Experiment("E0", nil, nil); err == nil {
 		t.Fatal("unknown experiment should fail")
 	}
-	if len(ExperimentIDs()) != 8 {
-		t.Fatal("want 8 experiment ids")
+	if len(ExperimentIDs()) != 9 {
+		t.Fatal("want 9 experiment ids")
 	}
 }
