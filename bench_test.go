@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -23,7 +24,7 @@ func runOnce(b *testing.B, algo harness.Algorithm, n int, opts harness.Options) 
 	b.Helper()
 	var rounds, msgs, bits float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.Run(algo, n, uint64(i+1), opts)
+		res, err := harness.Run(context.Background(), algo, n, uint64(i+1), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func BenchmarkE3Bits(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/b=%d", algo, payload), func(b *testing.B) {
 				var ratio float64
 				for i := 0; i < b.N; i++ {
-					res, err := harness.Run(algo, 20000, uint64(i+1), harness.Options{PayloadBits: payload})
+					res, err := harness.Run(context.Background(), algo, 20000, uint64(i+1), harness.Options{PayloadBits: payload})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -106,7 +107,7 @@ func BenchmarkE5Delta(b *testing.B) {
 		b.Run(fmt.Sprintf("delta=%d", delta), func(b *testing.B) {
 			var rounds, maxComms float64
 			for i := 0; i < b.N; i++ {
-				res, err := harness.Run(harness.AlgoClusterPushPull, n, uint64(i+1), harness.Options{Delta: delta})
+				res, err := harness.Run(context.Background(), harness.AlgoClusterPushPull, n, uint64(i+1), harness.Options{Delta: delta})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -237,7 +238,7 @@ func BenchmarkE8Churn(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				seed := uint64(i + 1)
 				wave := failure.Timed{Round: 4, Adversary: failure.Random{Count: n / 10, Seed: seed + 2000}}
-				res, err := harness.Run(algo, n, seed, harness.Options{
+				res, err := harness.Run(context.Background(), algo, n, seed, harness.Options{
 					LossRate: 0.05,
 					LossSeed: seed + 3000,
 					Events:   []scenario.Event{scenario.FromTimed(wave, n)},

@@ -16,15 +16,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
 	"strings"
 	"time"
 
+	"repro"
+	"repro/internal/cliutil"
 	"repro/internal/harness"
 )
 
@@ -74,22 +76,19 @@ func run(args []string) error {
 		return runEngineBench(*benchN, *workers, *out)
 	}
 
-	cfg := harness.SweepConfig{Opts: harness.Options{PayloadBits: *payload, Workers: *workers}}
-	var err error
-	cfg.Sizes, err = parseSizes(*sizes)
+	sizeList, err := cliutil.ParseSizes(*sizes)
 	if err != nil {
 		return err
 	}
-	for s := 1; s <= *seeds; s++ {
-		cfg.Seeds = append(cfg.Seeds, uint64(s))
-	}
+	seedList := cliutil.Seeds(*seeds)
 
-	ids := harness.ExperimentIDs()
+	ids := repro.ExperimentIDs()
 	if *experiments != "all" {
 		ids = strings.Split(*experiments, ",")
 	}
 	for _, id := range ids {
-		table, err := harness.RunExperiment(strings.TrimSpace(id), cfg)
+		table, err := repro.Experiment(strings.TrimSpace(id), sizeList, seedList,
+			repro.WithPayloadBits(*payload), repro.WithWorkers(*workers))
 		if err != nil {
 			return err
 		}
@@ -145,7 +144,7 @@ const broadcastTrials = 3
 func benchBroadcastCluster2(n, workers int) (float64, error) {
 	start := time.Now()
 	for seed := uint64(1); seed <= broadcastTrials; seed++ {
-		res, err := harness.Run(harness.AlgoCluster2, n, seed, harness.Options{Workers: workers})
+		res, err := harness.Run(context.Background(), harness.AlgoCluster2, n, seed, harness.Options{Workers: workers})
 		if err != nil {
 			return 0, err
 		}
@@ -232,23 +231,4 @@ func runEngineBench(n, workers int, out string) error {
 		fmt.Fprintf(os.Stderr, "benchtab: wrote %s\n", out)
 	}
 	return nil
-}
-
-func parseSizes(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		v, err := strconv.Atoi(part)
-		if err != nil {
-			return nil, fmt.Errorf("parse size %q: %w", part, err)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no sizes given")
-	}
-	return out, nil
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
@@ -27,7 +29,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
-	algo := fs.String("algo", string(repro.AlgoCluster2), "algorithm: "+strings.Join(algorithmNames(), ", "))
+	algoName := fs.String("algo", string(repro.AlgoCluster2), "algorithm: "+strings.Join(repro.AlgorithmNames(), ", "))
 	n := fs.Int("n", 100000, "number of nodes")
 	seed := fs.Uint64("seed", 1, "random seed")
 	payload := fs.Int("b", 256, "rumor size in bits")
@@ -40,43 +42,33 @@ func run(args []string) error {
 		return err
 	}
 
-	res, err := repro.Broadcast(repro.Config{
-		N:           *n,
-		Algorithm:   repro.Algorithm(*algo),
-		Seed:        *seed,
-		PayloadBits: *payload,
-		Delta:       *delta,
-		Failures:    *failures,
-		FailureSeed: *failSeed,
-		Workers:     *workers,
-	})
+	algo, err := repro.ParseAlgorithm(*algoName)
+	if err != nil {
+		return err
+	}
+	opts := []repro.Option{
+		repro.WithAlgorithm(algo),
+		repro.WithSeed(*seed),
+		repro.WithPayloadBits(*payload),
+		repro.WithDelta(*delta),
+		repro.WithWorkers(*workers),
+	}
+	if *failures > 0 {
+		opts = append(opts, repro.WithFailures(*failures, *failSeed))
+	}
+	rep, err := repro.Run(context.Background(), *n, opts...)
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("algorithm          %s\n", res.Algorithm)
-	fmt.Printf("nodes              %d (live %d)\n", res.N, res.Live)
-	fmt.Printf("informed           %d (all informed: %v)\n", res.Informed, res.AllInformed)
-	fmt.Printf("rounds             %d (completion at round %d)\n", res.Rounds, res.CompletionRound)
-	fmt.Printf("messages           %d payload + %d control (%.2f per node)\n", res.Messages, res.ControlMessages, res.MessagesPerNode)
-	fmt.Printf("bits               %d (%.2f per node per payload bit)\n", res.Bits, float64(res.Bits)/float64(res.N)/float64(*payload))
-	fmt.Printf("max comms/round Δ  %d\n", res.MaxCommsPerRound)
+	fmt.Printf("algorithm          %s\n", rep.Algorithm)
+	cliutil.PrintResult(os.Stdout, rep.Result)
+	fmt.Printf("bits/node/payload  %.2f\n", float64(rep.Bits)/float64(rep.N)/float64(*payload))
 	if *failures > 0 {
-		fmt.Printf("uninformed survivors %d (F = %d)\n", res.UninformedSurvivors(), *failures)
+		fmt.Printf("uninformed survivors %d (F = %d)\n", rep.UninformedSurvivors(), *failures)
 	}
-	if *showPhases && len(res.Phases) > 0 {
-		fmt.Printf("\n%-28s %8s %12s %14s\n", "phase", "rounds", "messages", "bits")
-		for _, p := range res.Phases {
-			fmt.Printf("%-28s %8d %12d %14d\n", p.Name, p.Rounds, p.Messages, p.Bits)
-		}
+	if *showPhases {
+		cliutil.PrintPhases(os.Stdout, rep.Phases)
 	}
 	return nil
-}
-
-func algorithmNames() []string {
-	names := make([]string, 0, len(repro.Algorithms()))
-	for _, a := range repro.Algorithms() {
-		names = append(names, string(a))
-	}
-	return names
 }

@@ -1,6 +1,7 @@
 // Command livegossip spins up N in-process nodes — one goroutine each,
 // exchanging wire-encoded phone-call frames over a pluggable transport — and
-// reports convergence time and message counts (internal/live).
+// reports convergence time and message counts (internal/live behind
+// repro.Run's live engines).
 //
 // Two modes:
 //
@@ -24,13 +25,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/harness"
-	"repro/internal/scenario"
+	"repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
@@ -57,21 +59,23 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
-	lo := harness.LiveOptions{
-		Transport: *transport,
-		Drop:      *drop, DropSeed: *dropSeed,
-		Latency: *latency, Jitter: *jitter,
-		MaxSkew: *skew, Rounds: *rounds,
-	}
 	switch *mode {
 	case "lockstep":
 		if *spec != "" {
 			return fmt.Errorf("-spec drives free-running mode; lock-step timelines go through cmd/gossipsim-style options")
 		}
-		return runLockStep(*algo, *n, *seed, lo)
+		return runLockStep(*algo, *n, *seed, repro.Transport(*transport),
+			repro.WithFrameLoss(*drop, *dropSeed), repro.WithLinkDelay(*latency, *jitter))
 	case "free":
-		return runFree(*algo, *n, *seed, *spec, fs, lo)
+		return runFree(freeArgs{
+			algo: *algo, n: *n, seed: *seed, spec: *spec, set: set,
+			transport: repro.Transport(*transport),
+			rounds:    *rounds, skew: *skew,
+			drop: *drop, dropSeed: *dropSeed, latency: *latency, jitter: *jitter,
+		})
 	default:
 		return fmt.Errorf("unknown mode %q (have lockstep, free)", *mode)
 	}
@@ -79,89 +83,95 @@ func run(args []string) error {
 
 // runLockStep executes a closed algorithm on the barrier-synchronized live
 // runtime and prints its (engine-identical) complexity report.
-func runLockStep(algo string, n int, seed uint64, lo harness.LiveOptions) error {
-	if algo == "" {
-		algo = string(harness.AlgoCluster2)
+func runLockStep(algoName string, n int, seed uint64, transport repro.Transport, shaping ...repro.Option) error {
+	// The shaping options carry the free-running-only flags (-drop, -latency,
+	// -jitter) so a lock-step invocation that sets them is rejected by the
+	// API's validation instead of silently ignored.
+	opts := append([]repro.Option{repro.OnLockStep(transport), repro.WithSeed(seed)}, shaping...)
+	if algoName != "" {
+		algo, err := repro.ParseAlgorithm(algoName)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, repro.WithAlgorithm(algo))
 	}
 	start := time.Now()
-	res, err := harness.RunLockStep(harness.Algorithm(algo), n, seed, harness.Options{}, lo)
+	rep, err := repro.Run(context.Background(), n, opts...)
 	if err != nil {
 		return err
 	}
 	wall := time.Since(start)
 
-	fmt.Printf("live lock-step     %s over %s transport (%d node goroutines)\n", res.Algorithm, transportName(lo), n)
-	fmt.Printf("nodes              %d (live %d)\n", res.N, res.Live)
-	fmt.Printf("informed           %d (all informed: %v)\n", res.Informed, res.AllInformed)
-	fmt.Printf("rounds             %d\n", res.Rounds)
-	fmt.Printf("messages           %d payload + %d control (%.2f per node)\n", res.Messages, res.ControlMessages, res.MessagesPerNode)
-	fmt.Printf("bits               %d\n", res.Bits)
-	fmt.Printf("max comms/round Δ  %d\n", res.MaxCommsPerRound)
+	fmt.Printf("live lock-step     %s over %s transport (%d node goroutines)\n",
+		rep.Algorithm, transportName(transport), n)
+	cliutil.PrintResult(os.Stdout, rep.Result)
 	fmt.Printf("wall time          %v\n", wall.Round(time.Millisecond))
 	fmt.Printf("conformance        bit-identical to the simulator engine (internal/live gate)\n")
-	if len(res.Phases) > 0 {
-		fmt.Printf("\n%-28s %8s %12s %14s\n", "phase", "rounds", "messages", "bits")
-		for _, p := range res.Phases {
-			fmt.Printf("%-28s %8d %12d %14d\n", p.Name, p.Rounds, p.Messages, p.Bits)
-		}
-	}
+	cliutil.PrintPhases(os.Stdout, rep.Phases)
 	return nil
+}
+
+// freeArgs carries the free-running flag values (with the explicitly-set
+// flag names, so unset flags defer to the spec).
+type freeArgs struct {
+	algo      string
+	n         int
+	seed      uint64
+	spec      string
+	set       map[string]bool
+	transport repro.Transport
+	rounds    int
+	skew      int
+	drop      float64
+	dropSeed  uint64
+	latency   time.Duration
+	jitter    time.Duration
 }
 
 // runFree executes the free-running workload, optionally shaped by a JSON
 // scenario spec.
-func runFree(algo string, n int, seed uint64, specPath string, fs *flag.FlagSet, lo harness.LiveOptions) error {
-	var events []scenario.Event
-	algorithm := scenario.Algorithm(algo)
-	if specPath != "" {
-		sp, err := scenario.LoadSpec(specPath)
-		if err != nil {
-			return err
+func runFree(a freeArgs) error {
+	n := a.n
+	var opts []repro.Option
+	if a.spec != "" {
+		// The spec fixes n (its event node indexes are relative to its own
+		// size); explicit flags layer over its scalar fields.
+		if a.set["n"] {
+			return fmt.Errorf("-n conflicts with -spec (the spec fixes its own n)")
 		}
-		sc, cfg, err := sp.Build()
-		if err != nil {
-			return err
-		}
-		set := map[string]bool{}
-		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		if set["n"] {
-			// The spec's event node indexes are relative to its own n;
-			// resizing underneath them would silently invalidate the
-			// timeline.
-			return fmt.Errorf("-n conflicts with -spec (the spec fixes n=%d)", sc.N)
-		}
-		n = sc.N
-		events = sc.Events
-		if algorithm == "" {
-			algorithm = sc.Algorithm
-		}
-		if lo.Rounds <= 0 {
-			lo.Rounds = sc.Rounds
-		}
-		lo.PayloadBits = cfg.PayloadBits
-		if !set["seed"] {
-			seed = cfg.Seed
-		}
+		n = 0
+		opts = append(opts, repro.WithScenarioFile(a.spec))
+	}
+	opts = append(opts,
+		repro.OnFreeRunning(a.skew, a.rounds),
+		repro.WithTransport(a.transport),
+		repro.WithFrameLoss(a.drop, a.dropSeed),
+		repro.WithLinkDelay(a.latency, a.jitter),
+	)
+	if a.spec == "" || a.set["seed"] {
+		opts = append(opts, repro.WithSeed(a.seed))
+	}
+	if a.algo != "" {
+		opts = append(opts, repro.WithAlgorithm(repro.Algorithm(a.algo)))
 	}
 
-	rep, err := harness.RunFreeRunning(n, seed, algorithm, events, lo)
+	rep, err := repro.Run(context.Background(), n, opts...)
 	if err != nil {
 		return err
 	}
-	res := rep.Trace("free-"+string(orPushPull(algorithm)), seed)
 
-	fmt.Printf("live free-running  %s over %s transport (%d node goroutines, max skew %d)\n",
-		orPushPull(algorithm), transportName(lo), n, maxSkewShown(lo))
+	fmt.Printf("live free-running  %s over %s transport (%d node goroutines%s)\n",
+		rep.Algorithm, transportName(a.transport), rep.N, skewShown(a.skew))
 	fmt.Printf("nodes              %d (live %d)\n", rep.N, rep.Live)
 	if rep.AllInformed {
-		fmt.Printf("converged          all %d live nodes informed at frontier round %d\n", rep.Live, rep.CompletionFrontier)
+		fmt.Printf("converged          all %d live nodes informed at frontier round %d\n", rep.Live, rep.CompletionRound)
 	} else {
-		fmt.Printf("converged          NO: %d/%d live nodes informed within %d rounds\n", rep.Informed, rep.Live, rep.Rounds)
+		fmt.Printf("converged          NO: %d/%d live nodes informed (furthest clock %d)\n", rep.Informed, rep.Live, rep.Rounds)
 	}
-	fmt.Printf("local rounds       budget %d, furthest clock %d\n", rep.Rounds, rep.MaxRound)
-	fmt.Printf("messages           %d payload + %d control (%.2f per node)\n", rep.Messages, rep.ControlMessages, res.MessagesPerNode)
+	fmt.Printf("local rounds       furthest clock %d\n", rep.Rounds)
+	fmt.Printf("messages           %d payload + %d control (%.2f per node)\n", rep.Messages, rep.ControlMessages, rep.MessagesPerNode)
 	fmt.Printf("bits               %d\n", rep.Bits)
-	fmt.Printf("max comms/round Δ  %d\n", rep.MaxComms)
+	fmt.Printf("max comms/round Δ  %d\n", rep.MaxCommsPerRound)
 	fmt.Printf("frame drops        %d\n", rep.Drops)
 	fmt.Printf("wall time          %v\n", rep.Wall.Round(time.Millisecond))
 	if rep.UnfiredEvents > 0 {
@@ -173,23 +183,16 @@ func runFree(algo string, n int, seed uint64, specPath string, fs *flag.FlagSet,
 	return nil
 }
 
-func orPushPull(a scenario.Algorithm) scenario.Algorithm {
-	if a == "" {
-		return scenario.AlgoPushPull
-	}
-	return a
-}
-
-func transportName(lo harness.LiveOptions) string {
-	if lo.Transport == "" {
+func transportName(t repro.Transport) string {
+	if t == "" {
 		return "chan"
 	}
-	return lo.Transport
+	return string(t)
 }
 
-func maxSkewShown(lo harness.LiveOptions) int {
-	if lo.MaxSkew < 1 {
-		return 3
+func skewShown(skew int) string {
+	if skew < 1 {
+		skew = 3
 	}
-	return lo.MaxSkew
+	return fmt.Sprintf(", max skew %d", skew)
 }

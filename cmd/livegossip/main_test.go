@@ -49,11 +49,14 @@ func TestRunFreeSmoke(t *testing.T) {
 // TestRunFreeFromSpec drives churn and rumor injection from a JSON scenario
 // spec.
 func TestRunFreeFromSpec(t *testing.T) {
+	// "workers" is a simulator knob shared specs may carry; the free-running
+	// engine must ignore it rather than reject the spec.
 	const spec = `{
 	  "name": "live-smoke",
 	  "n": 300,
 	  "rounds": 120,
 	  "algorithm": "push-pull",
+	  "workers": 4,
 	  "seed": 5,
 	  "events": [
 	    {"type": "inject", "round": 1, "node": 0, "rumor": 0},

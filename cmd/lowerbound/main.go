@@ -12,11 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
-	"repro/internal/lowerbound"
-	"repro/internal/stats"
+	"repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
@@ -35,30 +33,31 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sizeList, err := cliutil.ParseSizes(*sizes)
+	if err != nil {
+		return err
+	}
 
 	fmt.Printf("%-10s %-18s %-22s\n", "n", "0.99*log2 log2 n", "knowledge-graph min T")
-	for _, part := range strings.Split(*sizes, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return fmt.Errorf("parse size %q: %w", part, err)
-		}
-		var minTs []float64
-		var firstTrace []lowerbound.Feasibility
-		for s := 1; s <= *seeds; s++ {
-			minT, tr := lowerbound.MinRounds(n, uint64(s))
-			minTs = append(minTs, float64(minT))
-			if s == 1 {
+	for _, n := range sizeList {
+		sum := 0.0
+		var firstTrace []repro.Feasibility
+		for _, seed := range cliutil.Seeds(*seeds) {
+			minT, tr := repro.LowerBoundTrace(n, seed)
+			sum += float64(minT)
+			if seed == 1 {
 				firstTrace = tr
 			}
 		}
-		fmt.Printf("%-10d %-18.2f %-22.1f\n", n, lowerbound.TheoreticalMinRounds(n), stats.Mean(minTs))
+		mean := sum / float64(*seeds)
+		fmt.Printf("%-10d %-18.2f %-22.1f\n", n, repro.TheoreticalLowerBound(n), mean)
 		if *trace {
 			for _, f := range firstTrace {
 				fmt.Printf("    T=%d ecc=%d reach=%d possible=%v\n", f.T, f.Eccentricity, f.Reach, f.Possible)
 			}
 		}
 		if *delta > 1 {
-			fmt.Printf("    Lemma 16 with Δ=%d: %.2f rounds\n", *delta, lowerbound.DeltaBound(n, *delta))
+			fmt.Printf("    Lemma 16 with Δ=%d: %.2f rounds\n", *delta, repro.DeltaLowerBound(n, *delta))
 		}
 	}
 	return nil

@@ -1,7 +1,8 @@
 // Command scenario runs a dynamic-network scenario from a JSON spec file
-// (see internal/scenario: timed crash waves, rejoins, per-call loss, and
-// multi-rumor injection over one of the steppable gossip protocols) and
-// prints a per-phase trace of how the rumors spread through the churn.
+// (timed crash waves, rejoins, per-call loss, and multi-rumor injection over
+// one of the steppable gossip protocols — see internal/scenario for the spec
+// format) and prints a per-phase trace of how the rumors spread through the
+// churn.
 //
 // Example:
 //
@@ -13,12 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"repro/internal/scenario"
+	"repro"
 )
 
 func main() {
@@ -41,48 +43,39 @@ func run(args []string) error {
 		return fmt.Errorf("-spec is required")
 	}
 
-	spec, err := scenario.LoadSpec(*specPath)
-	if err != nil {
-		return err
-	}
-	sc, cfg, err := spec.Build()
-	if err != nil {
-		return err
-	}
+	// Spec first, explicit flags layered over it.
+	opts := []repro.Option{repro.WithScenarioFile(*specPath)}
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "seed" {
-			cfg.Seed = *seed
+			opts = append(opts, repro.WithSeed(*seed))
 		}
 	})
 	if *workers > 0 {
-		cfg.Workers = *workers
+		opts = append(opts, repro.WithWorkers(*workers))
 	}
 	if *algo != "" {
-		sc.Algorithm = scenario.Algorithm(*algo)
-		if err := sc.Validate(); err != nil {
-			return err
-		}
+		opts = append(opts, repro.WithAlgorithm(repro.Algorithm(*algo)))
 	}
 
-	res, err := scenario.Run(sc, cfg)
+	rep, err := repro.Run(context.Background(), 0, opts...)
 	if err != nil {
 		return err
 	}
-	render(os.Stdout, res)
+	render(os.Stdout, rep)
 	return nil
 }
 
 // render prints the per-phase trace and the final per-rumor outcomes.
-func render(w *os.File, res scenario.Result) {
-	name := res.Scenario
+func render(w *os.File, rep repro.Report) {
+	name := rep.Scenario
 	if name == "" {
 		name = "(unnamed)"
 	}
 	fmt.Fprintf(w, "scenario %q  n=%d  rounds=%d  algorithm=%s  seed=%d\n\n",
-		name, res.N, res.Rounds, res.Algorithm, res.Seed)
+		name, rep.N, rep.Rounds, rep.Algorithm, rep.Seed)
 
 	fmt.Fprintf(w, "%-10s %7s %12s %14s %6s  %s\n", "rounds", "live", "messages", "bits", "maxΔ", "informed")
-	for _, p := range res.Phases {
+	for _, p := range rep.ScenarioPhases {
 		if len(p.Events) > 0 {
 			fmt.Fprintf(w, "event @%d: %s\n", p.FromRound, strings.Join(p.Events, "; "))
 		}
@@ -100,13 +93,13 @@ func render(w *os.File, res scenario.Result) {
 	}
 
 	fmt.Fprintf(w, "\nfinal: live=%d  messages=%d (+%d control)  bits=%d  msgs/node=%.2f  maxΔ=%d\n",
-		res.Live, res.Messages, res.ControlMessages, res.Bits, res.MessagesPerNode, res.MaxCommsPerRound)
-	for _, ro := range res.Rumors {
+		rep.Live, rep.Messages, rep.ControlMessages, rep.Bits, rep.MessagesPerNode, rep.MaxCommsPerRound)
+	for _, ro := range rep.Rumors {
 		completed := "never completed"
 		if ro.CompletionRound > 0 {
 			completed = fmt.Sprintf("completed at round %d", ro.CompletionRound)
 		}
 		fmt.Fprintf(w, "rumor %d (injected round %d): %d/%d live informed (%.1f%%), %s\n",
-			ro.Rumor, ro.InjectRound, ro.LiveInformed, res.Live, 100*ro.LiveFraction, completed)
+			ro.Rumor, ro.InjectRound, ro.LiveInformed, rep.Live, 100*ro.LiveFraction, completed)
 	}
 }

@@ -1,0 +1,112 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/failure"
+	"repro/internal/phonecall"
+	"repro/internal/scenario"
+)
+
+// Timeline events: the public, typed form of the dynamic-network scenario
+// vocabulary (internal/scenario). A timeline passed to WithTimeline layers
+// crash waves, rejoins, loss changes and rumor injections under an execution
+// as its rounds advance; a timeline that injects at least one rumor runs the
+// steppable multi-rumor driver, any other timeline composes with the closed
+// broadcast algorithms unchanged. Rounds are 1-based; an event at round r
+// fires before any communication of round r.
+
+// TimelineEvent is one timeline entry. The concrete types are CrashAt,
+// JoinAt, LossAt and InjectRumor; the interface is sealed.
+type TimelineEvent interface {
+	// event converts to the internal representation (sealed).
+	event() (scenario.Event, error)
+}
+
+// CrashAt fails the listed node indexes at the start of round At. Crashed
+// nodes stop initiating, stop responding and drop everything addressed to
+// them; per the live-participant rule they are charged nothing from then on.
+type CrashAt struct {
+	At    int
+	Nodes []int
+}
+
+func (e CrashAt) event() (scenario.Event, error) {
+	return scenario.CrashAt{At: e.At, Nodes: e.Nodes}, nil
+}
+
+// JoinAt revives (or late-starts) the listed node indexes at the start of
+// round At. Under a multi-rumor workload a joining node starts uninformed;
+// under a closed algorithm it rejoins with the protocol state it had (a
+// process that was partitioned away rather than restarted).
+type JoinAt struct {
+	At    int
+	Nodes []int
+}
+
+func (e JoinAt) event() (scenario.Event, error) {
+	return scenario.JoinAt{At: e.At, Nodes: e.Nodes}, nil
+}
+
+// LossAt sets the oblivious per-call drop probability from round At on.
+// Rate 0 switches loss off again; Seed drives the drop decisions
+// independently of the execution seed.
+type LossAt struct {
+	At   int
+	Rate float64
+	Seed uint64
+}
+
+func (e LossAt) event() (scenario.Event, error) {
+	return scenario.Loss{At: e.At, Rate: e.Rate, Seed: e.Seed}, nil
+}
+
+// InjectRumor hands rumor Rumor (an ID in [0, 64)) to node Node at the start
+// of round At. Injecting at least one rumor switches the execution to the
+// steppable multi-rumor driver (push, pull, push-pull), which needs an
+// explicit round budget (WithRounds).
+type InjectRumor struct {
+	At    int
+	Node  int
+	Rumor int
+}
+
+func (e InjectRumor) event() (scenario.Event, error) {
+	if e.Rumor < 0 || e.Rumor >= phonecall.MaxRumors {
+		return nil, fmt.Errorf("%w: rumor id %d outside [0,%d)", ErrInvalidConfig, e.Rumor, phonecall.MaxRumors)
+	}
+	return scenario.InjectRumor{At: e.At, Node: e.Node, Rumor: phonecall.RumorID(e.Rumor)}, nil
+}
+
+// PickRandomNodes selects count distinct node indexes of a network of n
+// nodes, uniformly at random from seed — the oblivious adversary's choice
+// (Section 8), reusable for building CrashAt/JoinAt waves by hand.
+func PickRandomNodes(n, count int, seed uint64) []int {
+	return failure.Random{Count: count, Seed: seed}.Select(n)
+}
+
+// PeriodicChurn generates a steady churn timeline: starting at round start,
+// every period rounds a fresh random set of count nodes crashes and rejoins
+// downFor rounds later, until horizon. Seed drives the node choices.
+func PeriodicChurn(n, start, period, count, downFor, horizon int, seed uint64) []TimelineEvent {
+	return fromScenarioEvents(scenario.PeriodicChurn(n, start, period, count, downFor, horizon, seed))
+}
+
+// fromScenarioEvents maps internal events back onto the public types (used
+// by the generator wrappers).
+func fromScenarioEvents(evs []scenario.Event) []TimelineEvent {
+	out := make([]TimelineEvent, 0, len(evs))
+	for _, ev := range evs {
+		switch e := ev.(type) {
+		case scenario.CrashAt:
+			out = append(out, CrashAt{At: e.At, Nodes: e.Nodes})
+		case scenario.JoinAt:
+			out = append(out, JoinAt{At: e.At, Nodes: e.Nodes})
+		case scenario.Loss:
+			out = append(out, LossAt{At: e.At, Rate: e.Rate, Seed: e.Seed})
+		case scenario.InjectRumor:
+			out = append(out, InjectRumor{At: e.At, Node: e.Node, Rumor: int(e.Rumor)})
+		}
+	}
+	return out
+}

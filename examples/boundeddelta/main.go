@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,10 +20,15 @@ func main() {
 	nFlag := flag.Int("n", 50_000, "network size")
 	flag.Parse()
 	n := *nFlag
+	ctx := context.Background()
 
 	fmt.Printf("%-18s %8s %12s %14s %12s\n", "algorithm", "Δ bound", "rounds", "observed maxΔ", "lemma16")
 	for _, delta := range []int{16, 64, 256, 1024} {
-		res, err := repro.Broadcast(repro.Config{N: n, Algorithm: repro.AlgoClusterPushPull, Seed: 5, Delta: delta})
+		res, err := repro.Run(ctx, n,
+			repro.WithAlgorithm(repro.AlgoClusterPushPull),
+			repro.WithSeed(5),
+			repro.WithDelta(delta),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -33,7 +39,7 @@ func main() {
 			"clusterpushpull", delta, res.Rounds, res.MaxCommsPerRound, repro.DeltaLowerBound(n, delta))
 	}
 
-	unbounded, err := repro.Broadcast(repro.Config{N: n, Algorithm: repro.AlgoCluster2, Seed: 5})
+	unbounded, err := repro.Run(ctx, n, repro.WithAlgorithm(repro.AlgoCluster2), repro.WithSeed(5))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +18,7 @@ func main() {
 	nFlag := flag.Int("n", 50_000, "network size")
 	flag.Parse()
 	n := *nFlag
+	ctx := context.Background()
 
 	fmt.Printf("%-22s %10s %12s %12s %14s %8s\n",
 		"algorithm", "rounds", "done@round", "msgs/node", "bits/node", "maxΔ")
@@ -25,7 +27,8 @@ func main() {
 		if algo == repro.AlgoNameDropper && size > 1000 {
 			size = 1000 // the resource-discovery baseline keeps Θ(n) state per node
 		}
-		res, err := repro.Broadcast(repro.Config{N: size, Algorithm: algo, Seed: 3, Delta: 1024})
+		res, err := repro.Run(ctx, size,
+			repro.WithAlgorithm(algo), repro.WithSeed(3), repro.WithDelta(1024))
 		if err != nil {
 			log.Fatalf("%s: %v", algo, err)
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -43,7 +44,8 @@ const (
 // the fragile mid-clustering regime at other sizes (the contrast row below
 // shows that regime deliberately).
 func midBroadcastRound() int {
-	res, err := repro.Broadcast(repro.Config{N: n, Algorithm: repro.AlgoCluster2, Seed: 11})
+	res, err := repro.Run(context.Background(), n,
+		repro.WithAlgorithm(repro.AlgoCluster2), repro.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,14 +96,12 @@ func measure(failureRound int, assert bool) int {
 	fmt.Printf("%-10s %-8s %-22s %-14s %-10s %-6s\n", "failed F", "F/n", "uninformed survivors", "uninformed/F", "rounds", "o(F)?")
 	for _, fraction := range []float64{0.01, 0.05, 0.10, 0.20, 0.30} {
 		f := int(fraction * float64(n))
-		res, err := repro.Broadcast(repro.Config{
-			N:            n,
-			Algorithm:    repro.AlgoCluster2,
-			Seed:         11,
-			Failures:     f,
-			FailureSeed:  97,
-			FailureRound: failureRound,
-		})
+		res, err := repro.Run(context.Background(), n,
+			repro.WithAlgorithm(repro.AlgoCluster2),
+			repro.WithSeed(11),
+			repro.WithFailures(f, 97),
+			repro.WithFailureRound(failureRound),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,29 +3,38 @@
 // exchanging wire frames over the in-process transport in lock-step — and
 // verify the two executions are bit-identical. Then let the same network run
 // free (no global barrier, 5% frame loss) and watch the completion monitor
-// detect convergence.
+// detect convergence. All three executions go through the one repro.Run
+// entry point; only the engine selector changes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"reflect"
 
-	"repro/internal/harness"
+	"repro"
 )
 
 func main() {
 	n := flag.Int("n", 2000, "network size (one goroutine per node in the live runs)")
 	flag.Parse()
+	ctx := context.Background()
 
 	// 1. Simulated vs live lock-step: same seed, same algorithm, two
 	// completely different execution substrates.
-	sim, err := harness.Run(harness.AlgoCluster2, *n, 1, harness.Options{Workers: 1})
+	sim, err := repro.Run(ctx, *n,
+		repro.WithAlgorithm(repro.AlgoCluster2), repro.WithSeed(1), repro.WithWorkers(1),
+		repro.OnSimulator(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	liveRes, err := harness.RunLockStep(harness.AlgoCluster2, *n, 1, harness.Options{}, harness.LiveOptions{})
+	live, err := repro.Run(ctx, *n,
+		repro.WithAlgorithm(repro.AlgoCluster2), repro.WithSeed(1),
+		repro.OnLockStep(repro.TransportChannel),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,22 +42,26 @@ func main() {
 	fmt.Printf("  simulator engine:   %d rounds, %.2f msgs/node, %d bits\n",
 		sim.Rounds, sim.MessagesPerNode, sim.Bits)
 	fmt.Printf("  live lock-step:     %d rounds, %.2f msgs/node, %d bits\n",
-		liveRes.Rounds, liveRes.MessagesPerNode, liveRes.Bits)
-	if !reflect.DeepEqual(sim, liveRes) {
-		log.Fatalf("conformance violated: traces diverge\n sim:  %+v\n live: %+v", sim, liveRes)
+		live.Rounds, live.MessagesPerNode, live.Bits)
+	if !reflect.DeepEqual(sim.Result, live.Result) {
+		log.Fatalf("conformance violated: traces diverge\n sim:  %+v\n live: %+v", sim.Result, live.Result)
 	}
 	fmt.Println("  bit-identical:      true (the internal/live conformance guarantee)")
 
 	// 2. Free-running: local round clocks, bounded skew, 5% of all frames
 	// dropped by the transport. Push-pull converges anyway.
-	rep, err := harness.RunFreeRunning(*n, 1, "", nil, harness.LiveOptions{Drop: 0.05, DropSeed: 7})
+	free, err := repro.Run(ctx, *n,
+		repro.WithSeed(1),
+		repro.OnFreeRunning(0, 0),
+		repro.WithFrameLoss(0.05, 7),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nFree-running push-pull under 5%% frame loss\n")
-	fmt.Printf("  converged:          %v (%d/%d live nodes informed)\n", rep.AllInformed, rep.Informed, rep.Live)
-	fmt.Printf("  completion frontier round %d (budget %d), wall %v\n",
-		rep.CompletionFrontier, rep.Rounds, rep.Wall.Round(1e6))
+	fmt.Printf("  converged:          %v (%d/%d live nodes informed)\n", free.AllInformed, free.Informed, free.Live)
+	fmt.Printf("  completion frontier round %d (furthest clock %d), wall %v\n",
+		free.CompletionRound, free.Rounds, free.Wall.Round(1e6))
 	fmt.Printf("  traffic:            %d messages, %d frames dropped in transit\n",
-		rep.Messages+rep.ControlMessages, rep.Drops)
+		free.Messages+free.ControlMessages, free.Drops)
 }

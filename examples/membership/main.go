@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +21,7 @@ func main() {
 	flag.Parse()
 	servers := *serversFlag
 	const delta = 128
+	ctx := context.Background()
 
 	fmt.Printf("membership service over %d servers, per-round fan-in bound Δ=%d\n\n", servers, delta)
 
@@ -27,13 +29,12 @@ func main() {
 	// clustering; epochs are independent executions over the same cluster
 	// size, as a deployment would re-run the gossip for each update.
 	for epoch := 1; epoch <= 3; epoch++ {
-		res, err := repro.Broadcast(repro.Config{
-			N:           servers,
-			Algorithm:   repro.AlgoClusterPushPull,
-			Seed:        uint64(epoch),
-			Delta:       delta,
-			PayloadBits: 1024, // serialized membership delta
-		})
+		res, err := repro.Run(ctx, servers,
+			repro.WithAlgorithm(repro.AlgoClusterPushPull),
+			repro.WithSeed(uint64(epoch)),
+			repro.WithDelta(delta),
+			repro.WithPayloadBits(1024), // serialized membership delta
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -44,14 +45,12 @@ func main() {
 
 	// A failure wave hits 10% of the fleet between epochs: the next epoch
 	// still reaches all but o(F) of the survivors (Theorem 19).
-	res, err := repro.Broadcast(repro.Config{
-		N:           servers,
-		Algorithm:   repro.AlgoClusterPushPull,
-		Seed:        4,
-		Delta:       delta,
-		Failures:    servers / 10,
-		FailureSeed: 123,
-	})
+	res, err := repro.Run(ctx, servers,
+		repro.WithAlgorithm(repro.AlgoClusterPushPull),
+		repro.WithSeed(4),
+		repro.WithDelta(delta),
+		repro.WithFailures(servers/10, 123),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 // Quickstart: broadcast a rumor to 100,000 nodes with Cluster2, the paper's
 // main algorithm (O(log log n) rounds, O(1) messages per node, O(nb) bits),
-// and print the complexity figures and the per-phase breakdown.
+// watching the spread live through a streaming observer, then print the
+// complexity figures and the per-phase breakdown.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -14,28 +16,36 @@ import (
 func main() {
 	n := flag.Int("n", 100_000, "network size")
 	flag.Parse()
-	result, err := repro.Broadcast(repro.Config{
-		N:           *n,
-		Algorithm:   repro.AlgoCluster2,
-		Seed:        1,
-		PayloadBits: 256,
-	})
+
+	// The observer streams every executed round as it happens — message and
+	// bit counts plus the live population — without changing the results.
+	fmt.Println("round-by-round (every 8th round):")
+	report, err := repro.Run(context.Background(), *n,
+		repro.WithAlgorithm(repro.AlgoCluster2),
+		repro.WithSeed(1),
+		repro.WithPayloadBits(256),
+		repro.WithObserver(func(r repro.RoundInfo) {
+			if r.Round%8 == 1 {
+				fmt.Printf("  round %3d: %8d messages, live %d\n", r.Round, r.Messages, r.Live)
+			}
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("Broadcast with %s over %d nodes\n", result.Algorithm, result.N)
-	fmt.Printf("  all informed:      %v (%d/%d)\n", result.AllInformed, result.Informed, result.Live)
-	fmt.Printf("  rounds:            %d\n", result.Rounds)
-	fmt.Printf("  messages per node: %.2f\n", result.MessagesPerNode)
-	fmt.Printf("  total bits:        %d (%.1f per node)\n", result.Bits, float64(result.Bits)/float64(result.N))
-	fmt.Printf("  max Δ per round:   %d\n", result.MaxCommsPerRound)
+	fmt.Printf("\nBroadcast with %s over %d nodes (%s engine)\n", report.Algorithm, report.N, report.Engine)
+	fmt.Printf("  all informed:      %v (%d/%d)\n", report.AllInformed, report.Informed, report.Live)
+	fmt.Printf("  rounds:            %d\n", report.Rounds)
+	fmt.Printf("  messages per node: %.2f\n", report.MessagesPerNode)
+	fmt.Printf("  total bits:        %d (%.1f per node)\n", report.Bits, float64(report.Bits)/float64(report.N))
+	fmt.Printf("  max Δ per round:   %d\n", report.MaxCommsPerRound)
 
 	fmt.Println("\nPhase breakdown:")
-	for _, p := range result.Phases {
+	for _, p := range report.Phases {
 		fmt.Printf("  %-24s %3d rounds  %9d messages\n", p.Name, p.Rounds, p.Messages)
 	}
 
 	fmt.Printf("\nLower bound check: Theorem 3 says at least %.1f rounds are needed at this size.\n",
-		repro.TheoreticalLowerBound(result.N))
+		repro.TheoreticalLowerBound(report.N))
 }

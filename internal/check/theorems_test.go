@@ -8,6 +8,7 @@ package check_test
 // methodology".
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -23,7 +24,7 @@ const replications = 8
 func runSample(t *testing.T, algo harness.Algorithm, n int, measure func(res trace.Result) float64) check.Sample {
 	t.Helper()
 	return func(seed uint64) (float64, error) {
-		res, err := harness.Run(algo, n, seed, harness.Options{Workers: 1})
+		res, err := harness.Run(context.Background(), algo, n, seed, harness.Options{Workers: 1})
 		if err != nil {
 			return 0, err
 		}

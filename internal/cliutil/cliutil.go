@@ -1,0 +1,66 @@
+// Package cliutil holds the flag-parsing and report-rendering plumbing
+// shared by the cmd/* binaries, so the CLIs stay thin shells over the public
+// repro API instead of each hand-rolling the same helpers.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+// ParseSizes parses a comma-separated list of network sizes.
+func ParseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("parse size %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return out, nil
+}
+
+// Seeds returns the consecutive seed list {1, ..., count}.
+func Seeds(count int) []uint64 {
+	out := make([]uint64, 0, count)
+	for s := 1; s <= count; s++ {
+		out = append(out, uint64(s))
+	}
+	return out
+}
+
+// PrintResult writes the common complexity block every execution report
+// shares: population, informedness, rounds, traffic and the paper's Δ.
+func PrintResult(w io.Writer, res repro.Result) {
+	fmt.Fprintf(w, "nodes              %d (live %d)\n", res.N, res.Live)
+	fmt.Fprintf(w, "informed           %d (all informed: %v)\n", res.Informed, res.AllInformed)
+	fmt.Fprintf(w, "rounds             %d (completion at round %d)\n", res.Rounds, res.CompletionRound)
+	fmt.Fprintf(w, "messages           %d payload + %d control (%.2f per node)\n",
+		res.Messages, res.ControlMessages, res.MessagesPerNode)
+	fmt.Fprintf(w, "bits               %d\n", res.Bits)
+	fmt.Fprintf(w, "max comms/round Δ  %d\n", res.MaxCommsPerRound)
+}
+
+// PrintPhases writes the per-phase breakdown of a closed algorithm's
+// execution (no-op without phases).
+func PrintPhases(w io.Writer, phases []repro.Phase) {
+	if len(phases) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%-28s %8s %12s %14s\n", "phase", "rounds", "messages", "bits")
+	for _, p := range phases {
+		fmt.Fprintf(w, "%-28s %8d %12d %14d\n", p.Name, p.Rounds, p.Messages, p.Bits)
+	}
+}

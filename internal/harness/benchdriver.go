@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -55,7 +56,7 @@ func ScenarioChurnDriver(n, workers int) (run func() error, rounds int) {
 		Events:    events,
 	}
 	return func() error {
-		res, err := scenario.Run(sc, scenario.Config{Seed: 1, Workers: workers})
+		res, err := scenario.Run(context.Background(), sc, scenario.Config{Seed: 1, Workers: workers})
 		if err != nil {
 			return err
 		}

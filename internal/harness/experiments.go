@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -262,7 +263,7 @@ func E5DeltaTradeoff(cfg SweepConfig) (Table, error) {
 		for _, seed := range cfg.Seeds {
 			opts := cfg.Opts
 			opts.Delta = delta
-			res, err := Run(AlgoClusterPushPull, n, seed, opts)
+			res, err := Run(context.Background(), AlgoClusterPushPull, n, seed, opts)
 			if err != nil {
 				return Table{}, err
 			}
@@ -306,7 +307,7 @@ func E6FaultTolerance(cfg SweepConfig) (Table, error) {
 		for _, seed := range cfg.Seeds {
 			opts := cfg.Opts
 			opts.Adversary = failure.Random{Count: f, Seed: seed + 1000}
-			res, err := Run(AlgoCluster2, n, seed, opts)
+			res, err := Run(context.Background(), AlgoCluster2, n, seed, opts)
 			if err != nil {
 				return Table{}, err
 			}

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -64,6 +65,10 @@ type Options struct {
 	// live-participant rule). LossSeed drives the drop decisions.
 	LossRate float64
 	LossSeed uint64
+	// Observer, when non-nil, taps every executed round through the engine's
+	// observer seam (phonecall.Observe) — per-round streaming stats without
+	// changing results or metrics.
+	Observer phonecall.RoundObserver
 	// Params tunes the paper's algorithms.
 	Params core.Params
 }
@@ -75,8 +80,9 @@ func (o Options) delta() int {
 	return o.Delta
 }
 
-// Run executes one algorithm on a fresh network of n nodes.
-func Run(algo Algorithm, n int, seed uint64, opts Options) (trace.Result, error) {
+// Run executes one algorithm on a fresh network of n nodes. A done ctx
+// aborts the execution between rounds with the context's error.
+func Run(ctx context.Context, algo Algorithm, n int, seed uint64, opts Options) (trace.Result, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -90,14 +96,26 @@ func Run(algo Algorithm, n int, seed uint64, opts Options) (trace.Result, error)
 	if err != nil {
 		return trace.Result{}, fmt.Errorf("harness: %w", err)
 	}
-	return runOnNetwork(net, algo, opts)
+	return runOnNetwork(ctx, net, algo, opts)
 }
 
 // runOnNetwork applies the options' adversary, loss and timeline to a
 // prepared network and dispatches the algorithm. Shared between Run (the
 // simulator engine) and RunLockStep (the live runtime installed as the
-// network's executor — see live.go).
-func runOnNetwork(net *phonecall.Network, algo Algorithm, opts Options) (trace.Result, error) {
+// network's executor — see live.go). The ctx abort (phonecall.SetContext)
+// unwinds the algorithm's round loop between rounds and is converted back
+// into the context's error here.
+func runOnNetwork(ctx context.Context, net *phonecall.Network, algo Algorithm, opts Options) (res trace.Result, err error) {
+	if ctx != nil {
+		net.SetContext(ctx)
+		defer phonecall.RecoverAbort(&err)
+	}
+	if opts.Observer != nil {
+		if b, ok := opts.Observer.(phonecall.NetworkBinder); ok {
+			b.BindNetwork(net)
+		}
+		net.Observe(opts.Observer)
+	}
 	if opts.Adversary != nil {
 		failure.Apply(net, opts.Adversary)
 	}
@@ -115,7 +133,7 @@ func runOnNetwork(net *phonecall.Network, algo Algorithm, opts Options) (trace.R
 	}
 	sources := []int{source}
 
-	res, err := dispatch(algo, net, sources, opts)
+	res, err = dispatch(algo, net, sources, opts)
 	if err != nil {
 		return trace.Result{}, err
 	}
@@ -181,7 +199,7 @@ func Aggregate(algo Algorithm, n int, seeds []uint64, opts Options) (Row, error)
 	row := Row{Algorithm: algo, N: n, Trials: len(seeds)}
 	var rounds, totals, msgs, bits, comms, informed []float64
 	for _, seed := range seeds {
-		res, err := Run(algo, n, seed, opts)
+		res, err := Run(context.Background(), algo, n, seed, opts)
 		if err != nil {
 			return Row{}, err
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ func smallSweep() SweepConfig {
 
 func TestRunEveryAlgorithm(t *testing.T) {
 	for _, a := range Algorithms() {
-		res, err := Run(a, 2000, 1, Options{Delta: 64})
+		res, err := Run(context.Background(), a, 2000, 1, Options{Delta: 64})
 		if err != nil {
 			t.Fatalf("%s: %v", a, err)
 		}
@@ -28,13 +29,13 @@ func TestRunEveryAlgorithm(t *testing.T) {
 }
 
 func TestRunUnknownAlgorithm(t *testing.T) {
-	if _, err := Run(Algorithm("nope"), 100, 1, Options{}); err == nil {
+	if _, err := Run(context.Background(), Algorithm("nope"), 100, 1, Options{}); err == nil {
 		t.Fatal("unknown algorithm should fail")
 	}
 }
 
 func TestRunWithAdversary(t *testing.T) {
-	res, err := Run(AlgoCluster2, 5000, 3, Options{Adversary: failure.Random{Count: 500, Seed: 9}})
+	res, err := Run(context.Background(), AlgoCluster2, 5000, 3, Options{Adversary: failure.Random{Count: 500, Seed: 9}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestRunWithAdversary(t *testing.T) {
 }
 
 func TestRunAllFailed(t *testing.T) {
-	if _, err := Run(AlgoPush, 100, 1, Options{Adversary: failure.Block{Count: 100}}); err == nil {
+	if _, err := Run(context.Background(), AlgoPush, 100, 1, Options{Adversary: failure.Block{Count: 100}}); err == nil {
 		t.Fatal("all-failed network should error")
 	}
 }
@@ -132,7 +133,7 @@ func TestRunWithTimedCrashWave(t *testing.T) {
 	// reflect the wave and the informed count must stay consistent
 	// (0 <= informed <= live).
 	wave := failure.Timed{Round: 4, Adversary: failure.Random{Count: 500, Seed: 9}}
-	res, err := Run(AlgoCluster2, 5000, 3, Options{
+	res, err := Run(context.Background(), AlgoCluster2, 5000, 3, Options{
 		Events: []scenario.Event{scenario.FromTimed(wave, 5000)},
 	})
 	if err != nil {
@@ -150,11 +151,11 @@ func TestRunWithTimedCrashWave(t *testing.T) {
 }
 
 func TestRunWithLoss(t *testing.T) {
-	clean, err := Run(AlgoPushPull, 2000, 1, Options{})
+	clean, err := Run(context.Background(), AlgoPushPull, 2000, 1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	lossy, err := Run(AlgoPushPull, 2000, 1, Options{LossRate: 0.3, LossSeed: 7})
+	lossy, err := Run(context.Background(), AlgoPushPull, 2000, 1, Options{LossRate: 0.3, LossSeed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestRunRejectsNeverFiredEvents(t *testing.T) {
 	// event scheduled there can never fire, and silently skipping the
 	// requested dynamics must not look like surviving them.
 	wave := failure.Timed{Round: 500, Adversary: failure.Random{Count: 50, Seed: 9}}
-	_, err := Run(AlgoPushPull, 500, 1, Options{
+	_, err := Run(context.Background(), AlgoPushPull, 500, 1, Options{
 		Events: []scenario.Event{scenario.FromTimed(wave, 500)},
 	})
 	if err == nil {
@@ -178,7 +179,7 @@ func TestRunRejectsNeverFiredEvents(t *testing.T) {
 }
 
 func TestRunRejectsInjectUnderClosedAlgorithm(t *testing.T) {
-	_, err := Run(AlgoPushPull, 500, 1, Options{
+	_, err := Run(context.Background(), AlgoPushPull, 500, 1, Options{
 		Events: []scenario.Event{scenario.InjectRumor{At: 1, Node: 0, Rumor: 0}},
 	})
 	if err == nil {
@@ -196,14 +197,14 @@ func TestRunScenarioAndAggregate(t *testing.T) {
 			scenario.CrashAt{At: 6, Nodes: failure.Random{Count: 100, Seed: 5}.Select(1000)},
 		},
 	}
-	results, err := RunScenario(sc, []uint64{1, 2}, scenario.Config{Workers: 1})
+	results, err := RunScenario(context.Background(), sc, []uint64{1, 2}, scenario.Config{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(results) != 2 || results[0].Seed != 1 || results[1].Seed != 2 {
 		t.Fatalf("per-seed results wrong: %+v", results)
 	}
-	row, err := AggregateScenario(sc, []uint64{1, 2}, scenario.Config{Workers: 1})
+	row, err := AggregateScenario(context.Background(), sc, []uint64{1, 2}, scenario.Config{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,35 +245,35 @@ func TestExperimentIDsDispatch(t *testing.T) {
 // adversary and timeline options applied on the live runtime.
 func TestRunLockStepMatchesRun(t *testing.T) {
 	opts := Options{Workers: 1, LossRate: 0.05, LossSeed: 3}
-	sim, err := Run(AlgoPushPull, 600, 2, opts)
+	sim, err := Run(context.Background(), AlgoPushPull, 600, 2, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	liveRes, err := RunLockStep(AlgoPushPull, 600, 2, opts, LiveOptions{})
+	liveRes, err := RunLockStep(context.Background(), AlgoPushPull, 600, 2, opts, LiveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !resultsEqual(sim, liveRes) {
 		t.Fatalf("live lock-step diverges from sim:\n sim:  %+v\n live: %+v", sim, liveRes)
 	}
-	if _, err := RunLockStep(AlgoPushPull, 100, 1, Options{}, LiveOptions{Transport: "udp"}); err == nil {
+	if _, err := RunLockStep(context.Background(), AlgoPushPull, 100, 1, Options{}, LiveOptions{Transport: "udp"}); err == nil {
 		t.Fatal("lock-step over UDP accepted")
 	}
-	if _, err := RunLockStep(AlgoPushPull, 100, 1, Options{}, LiveOptions{Drop: 0.5}); err == nil {
+	if _, err := RunLockStep(context.Background(), AlgoPushPull, 100, 1, Options{}, LiveOptions{Drop: 0.5}); err == nil {
 		t.Fatal("lock-step over a lossy mesh accepted")
 	}
 }
 
 // TestRunFreeRunningConverges smoke-tests the harness free-running path.
 func TestRunFreeRunningConverges(t *testing.T) {
-	rep, err := RunFreeRunning(300, 4, "", nil, LiveOptions{Drop: 0.05, DropSeed: 8})
+	rep, err := RunFreeRunning(context.Background(), 300, 4, "", nil, LiveOptions{Drop: 0.05, DropSeed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !rep.AllInformed {
 		t.Fatalf("free-running run did not converge: %+v", rep)
 	}
-	if _, err := RunFreeRunning(300, 4, "", nil, LiveOptions{Transport: "bogus"}); err == nil {
+	if _, err := RunFreeRunning(context.Background(), 300, 4, "", nil, LiveOptions{Transport: "bogus"}); err == nil {
 		t.Fatal("unknown transport accepted")
 	}
 }

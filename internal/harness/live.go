@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"reflect"
@@ -38,6 +39,9 @@ type LiveOptions struct {
 	// PayloadBits is the free-running per-rumor payload size b (default
 	// 256); lock-step takes it from Options.PayloadBits like Run.
 	PayloadBits int
+	// OnFrontier, when non-nil, streams free-running frontier advances
+	// (live.FreeRunConfig.OnFrontier) — the async analogue of Options.Observer.
+	OnFrontier func(frontier, live int)
 }
 
 // transport builds the configured transport.
@@ -74,8 +78,9 @@ func (lo LiveOptions) freeBudget(n int) int {
 // own goroutine over the live transport, in barrier-synchronized lock-step.
 // The result is bit-identical to Run with the same arguments (the conformance
 // guarantee of internal/live); adversaries, timelines and model loss from
-// opts apply unchanged.
-func RunLockStep(algo Algorithm, n int, seed uint64, opts Options, lo LiveOptions) (trace.Result, error) {
+// opts apply unchanged. A done ctx aborts between rounds; the runtime's node
+// goroutines are torn down before the error returns.
+func RunLockStep(ctx context.Context, algo Algorithm, n int, seed uint64, opts Options, lo LiveOptions) (trace.Result, error) {
 	net, err := phonecall.New(phonecall.Config{
 		N:           n,
 		Seed:        seed,
@@ -97,7 +102,7 @@ func RunLockStep(algo Algorithm, n int, seed uint64, opts Options, lo LiveOption
 		ls.Close()
 		tr.Close()
 	}()
-	res, err := runOnNetwork(net, algo, opts)
+	res, err := runOnNetwork(ctx, net, algo, opts)
 	if err != nil {
 		return trace.Result{}, err
 	}
@@ -110,8 +115,9 @@ func RunLockStep(algo Algorithm, n int, seed uint64, opts Options, lo LiveOption
 // RunFreeRunning executes a free-running live workload: one of the steppable
 // gossip protocols, local round clocks with bounded skew, convergence
 // detected by the completion monitor, scenario events fired as the round
-// frontier passes them.
-func RunFreeRunning(n int, seed uint64, algo scenario.Algorithm, events []scenario.Event, lo LiveOptions) (live.Report, error) {
+// frontier passes them. A done ctx stops every node goroutine promptly and
+// returns the partial report with the context's error.
+func RunFreeRunning(ctx context.Context, n int, seed uint64, algo scenario.Algorithm, events []scenario.Event, lo LiveOptions) (live.Report, error) {
 	tr, err := lo.transport(n, false)
 	if err != nil {
 		return live.Report{}, err
@@ -126,11 +132,12 @@ func RunFreeRunning(n int, seed uint64, algo scenario.Algorithm, events []scenar
 		PayloadBits: lo.PayloadBits,
 		Events:      events,
 		Transport:   tr,
+		OnFrontier:  lo.OnFrontier,
 	})
 	if err != nil {
 		return live.Report{}, err
 	}
-	return fr.Run()
+	return fr.Run(ctx)
 }
 
 // E9SimVsLive is the sim-vs-live comparison table: the closed algorithms on
@@ -156,11 +163,11 @@ func E9SimVsLive(cfg SweepConfig) (Table, error) {
 		var rounds, msgs, informed []float64
 		identical := true
 		for _, seed := range cfg.Seeds {
-			sim, err := Run(algo, n, seed, cfg.Opts)
+			sim, err := Run(context.Background(), algo, n, seed, cfg.Opts)
 			if err != nil {
 				return Table{}, fmt.Errorf("E9 sim %s: %w", algo, err)
 			}
-			liveRes, err := RunLockStep(algo, n, seed, cfg.Opts, LiveOptions{})
+			liveRes, err := RunLockStep(context.Background(), algo, n, seed, cfg.Opts, LiveOptions{})
 			if err != nil {
 				return Table{}, fmt.Errorf("E9 live %s: %w", algo, err)
 			}
@@ -185,7 +192,7 @@ func E9SimVsLive(cfg SweepConfig) (Table, error) {
 	for _, drop := range []float64{0, 0.05} {
 		var rounds, msgs, informed []float64
 		for _, seed := range cfg.Seeds {
-			rep, err := RunFreeRunning(n, seed, scenario.AlgoPushPull, nil,
+			rep, err := RunFreeRunning(context.Background(), n, seed, scenario.AlgoPushPull, nil,
 				LiveOptions{Drop: drop, DropSeed: seed + 900, PayloadBits: cfg.Opts.PayloadBits})
 			if err != nil {
 				return Table{}, fmt.Errorf("E9 free drop=%.2f: %w", drop, err)

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/failure"
@@ -12,12 +13,12 @@ import (
 // internal/scenario) once per seed and returns the per-seed results. The
 // scenario's event seeds stay fixed across trials — the timeline is the
 // workload — while the execution seed varies.
-func RunScenario(sc scenario.Scenario, seeds []uint64, cfg scenario.Config) ([]scenario.Result, error) {
+func RunScenario(ctx context.Context, sc scenario.Scenario, seeds []uint64, cfg scenario.Config) ([]scenario.Result, error) {
 	out := make([]scenario.Result, 0, len(seeds))
 	for _, seed := range seeds {
 		c := cfg
 		c.Seed = seed
-		res, err := scenario.Run(sc, c)
+		res, err := scenario.Run(ctx, sc, c)
 		if err != nil {
 			return nil, fmt.Errorf("harness: scenario %q seed %d: %w", sc.Name, seed, err)
 		}
@@ -43,8 +44,8 @@ type ScenarioRow struct {
 }
 
 // AggregateScenario runs the scenario for every seed and summarizes.
-func AggregateScenario(sc scenario.Scenario, seeds []uint64, cfg scenario.Config) (ScenarioRow, error) {
-	results, err := RunScenario(sc, seeds, cfg)
+func AggregateScenario(ctx context.Context, sc scenario.Scenario, seeds []uint64, cfg scenario.Config) (ScenarioRow, error) {
+	results, err := RunScenario(ctx, sc, seeds, cfg)
 	if err != nil {
 		return ScenarioRow{}, err
 	}
@@ -111,7 +112,7 @@ func E8Churn(cfg SweepConfig) (Table, error) {
 						}
 						opts.Events = []scenario.Event{scenario.FromTimed(wave, n)}
 					}
-					res, err := Run(algo, n, seed, opts)
+					res, err := Run(context.Background(), algo, n, seed, opts)
 					if err != nil {
 						return Table{}, fmt.Errorf("E8 %s crash=%.2f loss=%.2f: %w", algo, frac, loss, err)
 					}

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -47,6 +48,11 @@ type FreeRunConfig struct {
 	// Transport carries the frames; nil gets a private zero-delay channel
 	// mesh. Lossy and delaying transports are the point of this mode.
 	Transport Transport
+	// OnFrontier, when non-nil, is invoked from the monitor goroutine every
+	// time the round frontier advances, with the new frontier and the live
+	// node count — the free-running analogue of a per-round observer. There
+	// is no global round, so no per-round traffic figures accompany it.
+	OnFrontier func(frontier, live int)
 }
 
 // frStats is one node's cumulative accounting, cache-line padded; written by
@@ -217,9 +223,15 @@ func NewFreeRun(cfg FreeRunConfig) (*FreeRun, error) {
 }
 
 // Run executes the workload to convergence, budget exhaustion or timeline
-// end, and returns the report. Run may be called once.
-func (fr *FreeRun) Run() (Report, error) {
+// end, and returns the report. A done ctx stops every node and the monitor
+// promptly; the partial report is returned together with the context's
+// error. Run may be called once.
+func (fr *FreeRun) Run(ctx context.Context) (Report, error) {
 	start := time.Now()
+	if ctx != nil {
+		stopWatch := context.AfterFunc(ctx, fr.stop)
+		defer stopWatch()
+	}
 	for i := 0; i < fr.cfg.N; i++ {
 		fr.wg.Add(1)
 		go fr.nodeLoop(i)
@@ -261,6 +273,9 @@ func (fr *FreeRun) Run() (Report, error) {
 	if ct, ok := fr.tr.(*ChannelTransport); ok {
 		rep.Drops = ct.Drops()
 	}
+	if ctx != nil && ctx.Err() != nil {
+		return rep, ctx.Err()
+	}
 	return rep, nil
 }
 
@@ -299,7 +314,8 @@ func (fr *FreeRun) tick() {
 	}
 
 	// Publish the frontier and wake skew waiters.
-	if frontier != fr.minRound.Load() {
+	advanced := frontier != fr.minRound.Load()
+	if advanced {
 		fr.mu.Lock()
 		fr.minRound.Store(frontier)
 		fr.cond.Broadcast()
@@ -320,6 +336,9 @@ func (fr *FreeRun) tick() {
 		if fr.roundOf[i].Load() < int64(fr.cfg.Rounds) {
 			allDone = false
 		}
+	}
+	if advanced && fr.cfg.OnFrontier != nil {
+		fr.cfg.OnFrontier(int(frontier), liveCount)
 	}
 	if reg != 0 && liveCount > 0 && informed == liveCount {
 		fr.completionAt.CompareAndSwap(0, max(frontier, 1))

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -26,7 +27,7 @@ func TestFreeRunInformsAllUnderDrop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := fr.Run()
+	rep, err := fr.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestFreeRunChurnTimeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := fr.Run()
+	rep, err := fr.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestFreeRunReviveDiscardsDeadBacklog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := fr.Run()
+	rep, err := fr.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestFreeRunLossEvent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := fr.Run()
+	rep, err := fr.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestFreeRunPullOnly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := fr.Run()
+	rep, err := fr.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestFreeRunLateEventsDoNotHang(t *testing.T) {
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		rep, err := fr.Run()
+		rep, err := fr.Run(context.Background())
 		done <- outcome{rep, err}
 	}()
 	select {

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/phonecall"
@@ -21,7 +22,7 @@ func TestUDPFreeRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := fr.Run()
+	rep, err := fr.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/phonecall"
@@ -160,7 +161,7 @@ func TestScenarioDiffCatchesTampering(t *testing.T) {
 		Rounds: 12,
 		Events: []scenario.Event{scenario.InjectRumor{At: 1, Node: 0, Rumor: 0}},
 	}
-	a, err := scenario.Run(sc, scenario.Config{Seed: 1})
+	a, err := scenario.Run(context.Background(), sc, scenario.Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

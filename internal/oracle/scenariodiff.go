@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"reflect"
@@ -21,7 +22,7 @@ import (
 // the first divergence (nil when the two executions agree). The scenario
 // must be valid; validation errors are returned as-is.
 func ScenarioDiff(sc scenario.Scenario, cfg scenario.Config) error {
-	want, err := scenario.Run(sc, cfg)
+	want, err := scenario.Run(context.Background(), sc, cfg)
 	if err != nil {
 		return err
 	}

@@ -220,6 +220,7 @@ func (net *Network) ExecRound(
 	responseOf func(i int) (Message, bool),
 	deliver func(i int, inbox []Message),
 ) RoundReport {
+	net.checkAbort()
 	net.round++
 	if net.roundHook != nil {
 		// Scenario hook: may Fail, Revive or SetLoss before this round's

@@ -37,6 +37,15 @@ type RoundObserver interface {
 	EndRound(rep RoundReport)
 }
 
+// NetworkBinder is an optional interface for RoundObservers that want a
+// reference to the network they are observing (for example to read the live
+// count when a round ends). Drivers that register observers on networks they
+// construct internally (internal/harness, internal/scenario) call
+// BindNetwork before the first round.
+type NetworkBinder interface {
+	BindNetwork(net *Network)
+}
+
 // Observe registers an observer on the network (nil unregisters). While an
 // observer is registered every round pays three wrapper closures and — so the
 // observer can see inboxes even under protocols that pass a nil deliver — the

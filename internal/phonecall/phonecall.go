@@ -18,6 +18,7 @@
 package phonecall
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -237,6 +238,10 @@ type Network struct {
 	// roundHook, when set, runs at the start of every ExecRound before any
 	// intent is evaluated (OnRoundStart).
 	roundHook func(round int)
+
+	// ctx, when set, aborts ExecRound once done (SetContext / RecoverAbort,
+	// see context.go).
+	ctx context.Context
 
 	// observer, when set, taps the round's callback traffic (Observe).
 	observer RoundObserver

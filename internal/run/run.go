@@ -1,0 +1,581 @@
+// Package run is the unified execution layer behind the public repro facade:
+// one validated Spec describing a gossip execution, one Runner interface over
+// the repository's engines, one Outcome shape coming back.
+//
+// Before this layer existed every frontend re-plumbed the engines by hand:
+// the facade called harness.Run, the scenario CLI called scenario.Run, the
+// live CLI called harness.RunLockStep / RunFreeRunning, and each re-parsed
+// algorithms, seeds and timelines its own way. The run layer folds those
+// four entry points behind a single contract:
+//
+//	spec := run.Spec{N: 100000, Algorithm: "cluster2", Seed: 7}
+//	out, err := run.Execute(ctx, spec)
+//
+// The engine is selected by Spec.Engine (simulator, lock-step, free-running)
+// and the workload by the spec's shape: a timeline that injects rumors runs
+// the steppable multi-rumor scenario driver, everything else runs the closed
+// broadcast algorithms. Validation happens here, at the boundary, with every
+// violation wrapped in ErrInvalidConfig — internals may assume a valid spec.
+// Cancellation and deadlines flow from ctx through the engine round loop
+// (phonecall.SetContext) and the live runtime on every path.
+package run
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/harness"
+	"repro/internal/phonecall"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// ErrInvalidConfig is wrapped by every validation error the run layer
+// returns, so callers can test errors.Is(err, ErrInvalidConfig) regardless
+// of which constraint was violated.
+var ErrInvalidConfig = errors.New("invalid configuration")
+
+// invalidf builds an ErrInvalidConfig-wrapped validation error.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidConfig, fmt.Sprintf(format, args...))
+}
+
+// Engine selects the execution substrate.
+type Engine uint8
+
+// The engines. Simulator is the sharded in-process round engine; LockStep
+// runs every node as a goroutine over a synchronous transport with results
+// bit-identical to the simulator; FreeRunning drops the global barrier and
+// runs local round clocks with bounded skew.
+const (
+	EngineSimulator Engine = iota
+	EngineLockStep
+	EngineFreeRunning
+)
+
+// String names the engine for errors and reports.
+func (e Engine) String() string {
+	switch e {
+	case EngineSimulator:
+		return "simulator"
+	case EngineLockStep:
+		return "lock-step"
+	case EngineFreeRunning:
+		return "free-running"
+	default:
+		return fmt.Sprintf("engine(%d)", uint8(e))
+	}
+}
+
+// RoundStats is one executed round as streamed to a Spec.Observer: the
+// engine's own per-round report plus the live population when the round
+// ended. On the free-running engine there is no global round; frontier
+// advances are streamed instead, with the traffic fields zero.
+type RoundStats struct {
+	Round    int
+	Live     int
+	Messages int64
+	Bits     int64
+	MaxComms int
+}
+
+// Observer streams per-round statistics while an execution runs. It is
+// invoked from the engine's coordinator goroutine (or the free-running
+// monitor); it must not call back into the execution.
+type Observer func(RoundStats)
+
+// Spec describes one gossip execution, independent of the engine that will
+// run it. The zero value of every field means "default".
+type Spec struct {
+	// N is the network size (required, >= 2).
+	N int
+	// Algorithm names the protocol. Closed broadcast algorithms (cluster2,
+	// clusterpushpull, push-pull, ...) run on the simulator and lock-step
+	// engines; the steppable multi-rumor protocols (push, pull, push-pull)
+	// run under rumor-injecting timelines and on the free-running engine.
+	// Empty selects cluster2 (closed) or push-pull (steppable).
+	Algorithm string
+	// Seed drives the execution; identical specs with identical seeds give
+	// identical results on the simulator and lock-step engines.
+	Seed uint64
+	// PayloadBits is the rumor size b in bits (default 256).
+	PayloadBits int
+	// Workers is the simulator shard count (<= 0: GOMAXPROCS); results are
+	// identical for any value.
+	Workers int
+	// Delta bounds per-round communications for clusterpushpull (default
+	// 1024, minimum core.MinDelta).
+	Delta int
+
+	// Failures fails this many nodes, chosen by the oblivious random
+	// adversary driven by FailureSeed — before round 1, or at the start of
+	// FailureRound when it is > 1.
+	Failures     int
+	FailureSeed  uint64
+	FailureRound int
+	// LossRate drops every call independently with this probability from
+	// round 1 on; LossSeed drives the decisions obliviously.
+	LossRate float64
+	LossSeed uint64
+
+	// Events is a scenario timeline (crash, join, loss, inject) applied as
+	// the rounds execute. A timeline that injects at least one rumor selects
+	// the steppable multi-rumor driver; Rounds is its budget.
+	Events []scenario.Event
+	// Rounds is the explicit round budget for multi-rumor and free-running
+	// workloads (closed algorithms terminate on their own).
+	Rounds int
+	// ScenarioName labels multi-rumor results.
+	ScenarioName string
+
+	// Engine selects the substrate; the remaining fields tune the live
+	// engines only.
+	Engine Engine
+	// Transport is "chan" (default) or "udp" (free-running only).
+	Transport string
+	// MaxSkew bounds free-running round clocks (default 3).
+	MaxSkew int
+	// Drop is the free-running transport's frame-loss probability, driven by
+	// DropSeed; Latency and Jitter delay channel-mesh deliveries.
+	Drop     float64
+	DropSeed uint64
+	Latency  time.Duration
+	Jitter   time.Duration
+
+	// Observer, when non-nil, streams per-round statistics.
+	Observer Observer
+}
+
+// Outcome is the unified result of one execution: the repository's common
+// trace.Result plus the workload-specific extras that engine produced.
+type Outcome struct {
+	trace.Result
+
+	// Scenario, Rumors and ScenarioPhases are filled by multi-rumor scenario
+	// runs: the scenario's name, the per-rumor outcomes and the per-phase
+	// trace.
+	Scenario       string
+	Rumors         []scenario.RumorOutcome
+	ScenarioPhases []scenario.PhaseReport
+
+	// Free-running extras: transport-level frame drops, timeline events that
+	// never fired or could not be honored, and the wall-clock time.
+	Drops         int64
+	UnfiredEvents int
+	IgnoredEvents int
+	Wall          time.Duration
+
+	// Engine records which substrate executed the run.
+	Engine Engine
+}
+
+// Runner executes one validated Spec on one engine.
+type Runner interface {
+	Run(ctx context.Context, spec Spec) (Outcome, error)
+}
+
+// Execute validates the spec, picks the runner its engine and workload
+// select, and runs it. This is the single entry point every frontend (the
+// public facade, the CLIs, the examples) goes through.
+func Execute(ctx context.Context, spec Spec) (Outcome, error) {
+	if err := spec.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	return spec.runner().Run(ctx, spec)
+}
+
+// multiRumor reports whether the timeline selects the steppable multi-rumor
+// driver (it injects at least one rumor).
+func (s Spec) multiRumor() bool {
+	for _, ev := range s.Events {
+		if _, ok := ev.(scenario.InjectRumor); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// runner picks the Runner for a validated spec.
+func (s Spec) runner() Runner {
+	switch {
+	case s.Engine == EngineFreeRunning:
+		return freeRunner{}
+	case s.Engine == EngineLockStep:
+		return lockStepRunner{}
+	case s.multiRumor():
+		return scenarioRunner{}
+	default:
+		return simRunner{}
+	}
+}
+
+// closedAlgorithms is the closed-algorithm name set, derived from the
+// harness registry once.
+func closedAlgorithms() map[string]bool {
+	out := make(map[string]bool)
+	for _, a := range harness.Algorithms() {
+		out[string(a)] = true
+	}
+	return out
+}
+
+// steppable reports whether name is one of the steppable multi-rumor
+// protocols (empty selects the default).
+func steppable(name string) bool {
+	switch scenario.Algorithm(name) {
+	case "", scenario.AlgoPush, scenario.AlgoPull, scenario.AlgoPushPull:
+		return true
+	default:
+		return false
+	}
+}
+
+// Validate checks every boundary constraint and returns an
+// ErrInvalidConfig-wrapped error for the first violation. Internals behind
+// the run layer may assume a validated spec.
+func (s Spec) Validate() error {
+	if s.N < 2 {
+		return invalidf("need N >= 2 (got %d)", s.N)
+	}
+	if s.N >= 1<<30 {
+		return invalidf("N %d exceeds the engine's 2^30 node limit", s.N)
+	}
+	if s.PayloadBits < 0 {
+		return invalidf("negative PayloadBits %d", s.PayloadBits)
+	}
+	if s.Delta != 0 && s.Delta < core.MinDelta {
+		return invalidf("Delta %d below the minimum %d", s.Delta, core.MinDelta)
+	}
+	if s.Failures < 0 {
+		return invalidf("negative Failures %d", s.Failures)
+	}
+	if s.Failures >= s.N {
+		return invalidf("Failures %d leaves no live node out of %d", s.Failures, s.N)
+	}
+	if s.FailureRound < 0 {
+		return invalidf("negative FailureRound %d", s.FailureRound)
+	}
+	if s.LossRate < 0 || s.LossRate > 1 {
+		return invalidf("LossRate %v outside [0,1]", s.LossRate)
+	}
+	if s.Drop < 0 || s.Drop > 1 {
+		return invalidf("transport drop rate %v outside [0,1]", s.Drop)
+	}
+	if s.MaxSkew < 0 {
+		return invalidf("negative MaxSkew %d", s.MaxSkew)
+	}
+	if s.Rounds < 0 {
+		return invalidf("negative Rounds %d", s.Rounds)
+	}
+	if err := s.validateEvents(); err != nil {
+		return err
+	}
+	return s.validateEngine()
+}
+
+// validateEvents checks every timeline event against the network size and
+// the model's ranges — the checks the engines would otherwise only hit (or
+// silently miss) deep inside a run.
+func (s Spec) validateEvents() error {
+	for _, ev := range s.Events {
+		if ev == nil {
+			return invalidf("nil timeline event")
+		}
+		switch e := ev.(type) {
+		case scenario.CrashAt:
+			if err := checkNodes(s.N, e.Nodes); err != nil {
+				return invalidf("crash at round %d: %v", e.At, err)
+			}
+		case scenario.JoinAt:
+			if err := checkNodes(s.N, e.Nodes); err != nil {
+				return invalidf("join at round %d: %v", e.At, err)
+			}
+		case scenario.Loss:
+			if e.Rate < 0 || e.Rate > 1 {
+				return invalidf("loss rate %v outside [0,1] at round %d", e.Rate, e.At)
+			}
+		case scenario.InjectRumor:
+			if e.Node < 0 || e.Node >= s.N {
+				return invalidf("inject at round %d: node %d outside [0,%d)", e.At, e.Node, s.N)
+			}
+			if e.Rumor >= phonecall.MaxRumors {
+				return invalidf("inject at round %d: rumor id %d outside [0,%d)", e.At, e.Rumor, phonecall.MaxRumors)
+			}
+		}
+	}
+	return nil
+}
+
+func checkNodes(n int, nodes []int) error {
+	for _, i := range nodes {
+		if i < 0 || i >= n {
+			return fmt.Errorf("node %d outside [0,%d)", i, n)
+		}
+	}
+	return nil
+}
+
+// validateEngine checks the engine-specific constraints: which algorithms,
+// timelines and transport shaping each substrate supports.
+func (s Spec) validateEngine() error {
+	switch s.Engine {
+	case EngineSimulator, EngineLockStep:
+		if s.multiRumor() {
+			if s.Engine == EngineLockStep {
+				return invalidf("multi-rumor timelines run on the simulator or free-running engines, not lock-step")
+			}
+			if !steppable(s.Algorithm) {
+				return invalidf("algorithm %q cannot run a multi-rumor timeline (have push, pull, push-pull)", s.Algorithm)
+			}
+			if s.Rounds < 1 {
+				return invalidf("a multi-rumor timeline needs an explicit round budget (Rounds >= 1)")
+			}
+		} else if s.Algorithm != "" && !closedAlgorithms()[s.Algorithm] {
+			return invalidf("unknown algorithm %q", s.Algorithm)
+		}
+		if s.Drop != 0 || s.Latency != 0 || s.Jitter != 0 {
+			return invalidf("transport frame loss and link delay apply to the free-running engine only")
+		}
+		if s.Engine == EngineSimulator && s.Transport != "" {
+			return invalidf("transport selection applies to the live engines only")
+		}
+		if s.Engine == EngineLockStep && s.Transport != "" && s.Transport != "chan" {
+			return invalidf("lock-step needs the synchronous channel transport (got %q)", s.Transport)
+		}
+	case EngineFreeRunning:
+		if !steppable(s.Algorithm) {
+			return invalidf("the free-running engine runs the steppable protocols (push, pull, push-pull), not %q", s.Algorithm)
+		}
+		if s.Transport != "" && s.Transport != "chan" && s.Transport != "udp" {
+			return invalidf("unknown transport %q (have chan, udp)", s.Transport)
+		}
+		if s.Transport == "udp" && (s.Drop != 0 || s.Latency != 0 || s.Jitter != 0) {
+			return invalidf("frame loss and link delay are injected by the channel transport, not udp")
+		}
+		// Workers is a simulator tuning knob; like on lock-step (which is
+		// goroutine-per-node too) it is ignored here, so shared scenario
+		// specs that set it stay runnable on every engine.
+	default:
+		return invalidf("unknown engine %v", s.Engine)
+	}
+	return nil
+}
+
+// failureEvents maps the Failures/FailureRound fields onto the adversary and
+// timeline shapes the harness consumes: a start-time adversary, or a timed
+// crash wave appended to the events.
+func (s Spec) failureEvents(events []scenario.Event) (failure.Adversary, []scenario.Event) {
+	if s.Failures <= 0 {
+		return nil, events
+	}
+	adv := failure.Random{Count: s.Failures, Seed: s.FailureSeed}
+	if s.FailureRound > 1 {
+		wave := failure.Timed{Round: s.FailureRound, Adversary: adv}
+		return nil, append(events, scenario.FromTimed(wave, s.N))
+	}
+	return adv, events
+}
+
+// roundTap adapts a run Observer to the engine's RoundObserver seam. The
+// network reference arrives through BindNetwork (phonecall.NetworkBinder)
+// from whichever driver constructs the network.
+type roundTap struct {
+	fn  Observer
+	net *phonecall.Network
+}
+
+func (t *roundTap) BindNetwork(net *phonecall.Network)                  { t.net = net }
+func (t *roundTap) BeginRound(round int, info phonecall.RoundInfo)      {}
+func (t *roundTap) ObserveIntent(i int, it phonecall.Intent)            {}
+func (t *roundTap) ObserveResponse(i int, m phonecall.Message, ok bool) {}
+func (t *roundTap) ObserveDeliver(i int, inbox []phonecall.Message)     {}
+
+func (t *roundTap) EndRound(rep phonecall.RoundReport) {
+	st := RoundStats{
+		Round:    rep.Round,
+		Messages: rep.Messages,
+		Bits:     rep.Bits,
+		MaxComms: rep.MaxComms,
+	}
+	if t.net != nil {
+		st.Live = t.net.LiveCount()
+	}
+	t.fn(st)
+}
+
+// harnessOptions maps the spec onto the closed-algorithm harness options.
+func (s Spec) harnessOptions() harness.Options {
+	adv, events := s.failureEvents(append([]scenario.Event(nil), s.Events...))
+	opts := harness.Options{
+		PayloadBits: s.PayloadBits,
+		Workers:     s.Workers,
+		Delta:       s.Delta,
+		Adversary:   adv,
+		Events:      events,
+		LossRate:    s.LossRate,
+		LossSeed:    s.LossSeed,
+	}
+	if s.Observer != nil {
+		opts.Observer = &roundTap{fn: s.Observer}
+	}
+	return opts
+}
+
+// closedAlgo resolves the closed-algorithm default.
+func (s Spec) closedAlgo() harness.Algorithm {
+	if s.Algorithm == "" {
+		return harness.AlgoCluster2
+	}
+	return harness.Algorithm(s.Algorithm)
+}
+
+// simRunner executes closed algorithms on the sharded simulator engine.
+type simRunner struct{}
+
+func (simRunner) Run(ctx context.Context, spec Spec) (Outcome, error) {
+	res, err := harness.Run(ctx, spec.closedAlgo(), spec.N, spec.Seed, spec.harnessOptions())
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Result: res, Engine: EngineSimulator}, nil
+}
+
+// lockStepRunner executes closed algorithms on the goroutine-per-node
+// lock-step runtime — bit-identical to the simulator.
+type lockStepRunner struct{}
+
+func (lockStepRunner) Run(ctx context.Context, spec Spec) (Outcome, error) {
+	lo := harness.LiveOptions{Transport: spec.Transport}
+	res, err := harness.RunLockStep(ctx, spec.closedAlgo(), spec.N, spec.Seed, spec.harnessOptions(), lo)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Result: res, Engine: EngineLockStep}, nil
+}
+
+// scenarioRunner executes multi-rumor timelines with the steppable protocols
+// on the simulator.
+type scenarioRunner struct{}
+
+func (scenarioRunner) Run(ctx context.Context, spec Spec) (Outcome, error) {
+	adv, events := spec.failureEvents(append([]scenario.Event(nil), spec.Events...))
+	if adv != nil {
+		// The scenario driver has no start-time adversary; round-1 crash
+		// events are its equivalent shape.
+		events = append(events, scenario.CrashAt{At: 1, Nodes: adv.Select(spec.N)})
+	}
+	if spec.LossRate > 0 {
+		events = append(events, scenario.Loss{At: 1, Rate: spec.LossRate, Seed: spec.LossSeed})
+	}
+	sc := scenario.Scenario{
+		Name:      spec.ScenarioName,
+		N:         spec.N,
+		Rounds:    spec.Rounds,
+		Algorithm: scenario.Algorithm(spec.Algorithm),
+		Events:    events,
+	}
+	cfg := scenario.Config{Seed: spec.Seed, PayloadBits: spec.PayloadBits, Workers: spec.Workers}
+	if spec.Observer != nil {
+		cfg.Observer = &roundTap{fn: spec.Observer}
+	}
+	res, err := scenario.Run(ctx, sc, cfg)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return scenarioOutcome(res), nil
+}
+
+// scenarioOutcome maps a scenario result onto the unified Outcome. Informed
+// counts live nodes holding the worst-spread rumor; AllInformed means every
+// rumor reached every live node; CompletionRound is the last rumor's
+// completion round when all completed, 0 otherwise.
+func scenarioOutcome(res scenario.Result) Outcome {
+	out := Outcome{
+		Result: trace.Result{
+			Algorithm:        string(res.Algorithm),
+			N:                res.N,
+			Seed:             res.Seed,
+			Rounds:           res.Rounds,
+			Messages:         res.Messages,
+			ControlMessages:  res.ControlMessages,
+			Bits:             res.Bits,
+			MessagesPerNode:  res.MessagesPerNode,
+			MaxCommsPerRound: res.MaxCommsPerRound,
+			Live:             res.Live,
+		},
+		Scenario:       res.Scenario,
+		Rumors:         res.Rumors,
+		ScenarioPhases: res.Phases,
+		Engine:         EngineSimulator,
+	}
+	worst := -1
+	completion := 0
+	allComplete := len(res.Rumors) > 0
+	for _, ro := range res.Rumors {
+		if worst < 0 || ro.LiveInformed < worst {
+			worst = ro.LiveInformed
+		}
+		if ro.CompletionRound == 0 {
+			allComplete = false
+		} else if ro.CompletionRound > completion {
+			completion = ro.CompletionRound
+		}
+	}
+	if worst >= 0 {
+		out.Informed = worst
+	}
+	out.AllInformed = allComplete || (len(res.Rumors) > 0 && out.Informed == res.Live)
+	if allComplete {
+		out.CompletionRound = completion
+	}
+	return out
+}
+
+// freeRunner executes steppable protocols on the free-running live runtime.
+type freeRunner struct{}
+
+func (freeRunner) Run(ctx context.Context, spec Spec) (Outcome, error) {
+	adv, events := spec.failureEvents(append([]scenario.Event(nil), spec.Events...))
+	if adv != nil {
+		events = append(events, scenario.CrashAt{At: 1, Nodes: adv.Select(spec.N)})
+	}
+	if spec.LossRate > 0 {
+		events = append(events, scenario.Loss{At: 1, Rate: spec.LossRate, Seed: spec.LossSeed})
+	}
+	lo := harness.LiveOptions{
+		Transport:   spec.Transport,
+		Drop:        spec.Drop,
+		DropSeed:    spec.DropSeed,
+		Latency:     spec.Latency,
+		Jitter:      spec.Jitter,
+		MaxSkew:     spec.MaxSkew,
+		Rounds:      spec.Rounds,
+		PayloadBits: spec.PayloadBits,
+	}
+	if obs := spec.Observer; obs != nil {
+		lo.OnFrontier = func(frontier, live int) {
+			obs(RoundStats{Round: frontier, Live: live})
+		}
+	}
+	algo := scenario.Algorithm(spec.Algorithm)
+	if algo == "" {
+		algo = scenario.AlgoPushPull
+	}
+	rep, err := harness.RunFreeRunning(ctx, spec.N, spec.Seed, algo, events, lo)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{
+		Result:        rep.Trace(string(algo), spec.Seed),
+		Drops:         rep.Drops,
+		UnfiredEvents: rep.UnfiredEvents,
+		IgnoredEvents: rep.IgnoredEvents,
+		Wall:          rep.Wall,
+		Engine:        EngineFreeRunning,
+	}
+	return out, nil
+}

@@ -1,0 +1,304 @@
+package run
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// inject is a valid round-1 rumor injection for validation tables.
+var inject = scenario.InjectRumor{At: 1, Node: 0, Rumor: 0}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"n too small", Spec{N: 1}},
+		{"n at engine limit", Spec{N: 1 << 30}},
+		{"negative payload", Spec{N: 100, PayloadBits: -1}},
+		{"delta below minimum", Spec{N: 100, Delta: 4}},
+		{"negative delta", Spec{N: 100, Delta: -64}},
+		{"negative failures", Spec{N: 100, Failures: -5}},
+		{"all nodes failed", Spec{N: 100, Failures: 100}},
+		{"negative failure round", Spec{N: 100, FailureRound: -1}},
+		{"negative loss", Spec{N: 100, LossRate: -0.1}},
+		{"loss above one", Spec{N: 100, LossRate: 1.5}},
+		{"negative rounds", Spec{N: 100, Rounds: -1}},
+		{"unknown closed algorithm", Spec{N: 100, Algorithm: "bogus"}},
+		{"crash node out of range", Spec{N: 100,
+			Events: []scenario.Event{scenario.CrashAt{At: 2, Nodes: []int{100}}}}},
+		{"join node negative", Spec{N: 100,
+			Events: []scenario.Event{scenario.JoinAt{At: 2, Nodes: []int{-1}}}}},
+		{"event loss out of range", Spec{N: 100,
+			Events: []scenario.Event{scenario.Loss{At: 2, Rate: 2}}}},
+		{"inject node out of range", Spec{N: 100, Algorithm: "push", Rounds: 5,
+			Events: []scenario.Event{scenario.InjectRumor{At: 1, Node: 100}}}},
+		{"inject rumor out of range", Spec{N: 100, Algorithm: "push", Rounds: 5,
+			Events: []scenario.Event{scenario.InjectRumor{At: 1, Node: 0, Rumor: 64}}}},
+		{"nil event", Spec{N: 100, Events: []scenario.Event{nil}}},
+		{"multi-rumor without budget", Spec{N: 100, Algorithm: "push",
+			Events: []scenario.Event{inject}}},
+		{"multi-rumor with closed algorithm", Spec{N: 100, Algorithm: "cluster2", Rounds: 5,
+			Events: []scenario.Event{inject}}},
+		{"multi-rumor on lock-step", Spec{N: 100, Algorithm: "push", Rounds: 5,
+			Engine: EngineLockStep, Events: []scenario.Event{inject}}},
+		{"transport on simulator", Spec{N: 100, Transport: "chan"}},
+		{"frame drop on simulator", Spec{N: 100, Drop: 0.5}},
+		{"drop above one", Spec{N: 100, Engine: EngineFreeRunning, Drop: 1.5}},
+		{"latency on lock-step", Spec{N: 100, Engine: EngineLockStep, Latency: time.Millisecond}},
+		{"udp on lock-step", Spec{N: 100, Engine: EngineLockStep, Transport: "udp"}},
+		{"closed algorithm free-running", Spec{N: 100, Engine: EngineFreeRunning, Algorithm: "cluster2"}},
+		{"unknown transport free-running", Spec{N: 100, Engine: EngineFreeRunning, Transport: "bogus"}},
+		{"shaped udp free-running", Spec{N: 100, Engine: EngineFreeRunning, Transport: "udp", Drop: 0.5}},
+		{"negative skew", Spec{N: 100, Engine: EngineFreeRunning, MaxSkew: -1}},
+		{"unknown engine", Spec{N: 100, Engine: Engine(99)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Execute(context.Background(), tc.spec)
+			if err == nil {
+				t.Fatalf("spec %+v accepted", tc.spec)
+			}
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("error not ErrInvalidConfig: %v", err)
+			}
+		})
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"zero-value defaults", Spec{N: 100}},
+		{"closed with timeline", Spec{N: 100,
+			Events: []scenario.Event{scenario.CrashAt{At: 2, Nodes: []int{1}}}}},
+		{"multi-rumor", Spec{N: 100, Algorithm: "push-pull", Rounds: 10,
+			Events: []scenario.Event{inject}}},
+		{"lock-step", Spec{N: 100, Engine: EngineLockStep, Transport: "chan"}},
+		{"free-running", Spec{N: 100, Engine: EngineFreeRunning, Drop: 0.2, Rounds: 40}},
+		{"free-running with spec workers", Spec{N: 100, Engine: EngineFreeRunning, Workers: 4, Rounds: 40}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.spec.Validate(); err != nil {
+				t.Fatalf("valid spec rejected: %v", err)
+			}
+		})
+	}
+}
+
+// TestCancelSimulator cancels mid-run from the observer (which runs on the
+// coordinator between rounds) and expects the context error promptly.
+func TestCancelSimulator(t *testing.T) {
+	testCancelSynchronous(t, EngineSimulator)
+}
+
+func TestCancelLockStep(t *testing.T) {
+	testCancelSynchronous(t, EngineLockStep)
+}
+
+func testCancelSynchronous(t *testing.T, engine Engine) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rounds := 0
+	spec := Spec{
+		N:         2000,
+		Algorithm: "cluster2",
+		Seed:      1,
+		Engine:    engine,
+		Observer: func(st RoundStats) {
+			rounds = st.Round
+			if st.Round == 3 {
+				cancel()
+			}
+		},
+	}
+	if engine == EngineSimulator {
+		spec.Workers = 1
+	}
+	_, err := Execute(ctx, spec)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The abort happens before the round after the cancellation does any
+	// work: the observer must not have seen more than one further round.
+	if rounds > 4 {
+		t.Fatalf("run kept executing after cancel: saw round %d", rounds)
+	}
+}
+
+// TestCancelFreeRunning cancels a free-running execution that would
+// otherwise spin through a huge budget (100% frame loss: it can never
+// converge) and expects a prompt stop.
+func TestCancelFreeRunning(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Execute(ctx, Spec{
+		N:        64,
+		Seed:     1,
+		Engine:   EngineFreeRunning,
+		Rounds:   1 << 30,
+		Drop:     1.0,
+		DropSeed: 7,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("free-running cancel not prompt: took %v", elapsed)
+	}
+}
+
+// TestDeadlineSimulator exercises the deadline path: an already-expired
+// context must abort before the first round.
+func TestDeadlineSimulator(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	_, err := Execute(ctx, Spec{N: 500, Seed: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+// TestScenarioCancel cancels the multi-rumor driver mid-run.
+func TestScenarioCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	spec := Spec{
+		N:         2000,
+		Algorithm: "push-pull",
+		Seed:      1,
+		Rounds:    200,
+		Events:    []scenario.Event{inject},
+		Observer: func(st RoundStats) {
+			if st.Round == 2 {
+				cancel()
+			}
+		},
+	}
+	_, err := Execute(ctx, spec)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestEngineAgreement pins the lock-step conformance guarantee through the
+// unified layer: identical Outcome.Result on both synchronous engines.
+func TestEngineAgreement(t *testing.T) {
+	base := Spec{N: 600, Algorithm: "cluster2", Seed: 5, Workers: 1}
+	sim, err := Execute(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockSpec := base
+	lockSpec.Workers = 0
+	lockSpec.Engine = EngineLockStep
+	lock, err := Execute(context.Background(), lockSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Engine != EngineSimulator || lock.Engine != EngineLockStep {
+		t.Fatalf("engines mislabeled: %v vs %v", sim.Engine, lock.Engine)
+	}
+	sim.Engine = lock.Engine
+	a, b := sim.Result, lock.Result
+	if a.Rounds != b.Rounds || a.Messages != b.Messages || a.Bits != b.Bits ||
+		a.Informed != b.Informed || a.MaxCommsPerRound != b.MaxCommsPerRound {
+		t.Fatalf("sim and lock-step diverge:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestObserverStreamsEveryRound checks the observer sees every executed
+// round in order with the live population attached.
+func TestObserverStreamsEveryRound(t *testing.T) {
+	var seen []RoundStats
+	out, err := Execute(context.Background(), Spec{
+		N:         500,
+		Algorithm: "push-pull",
+		Seed:      2,
+		Workers:   1,
+		Observer:  func(st RoundStats) { seen = append(seen, st) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != out.Rounds {
+		t.Fatalf("observer saw %d rounds, result has %d", len(seen), out.Rounds)
+	}
+	for i, st := range seen {
+		if st.Round != i+1 {
+			t.Fatalf("round %d streamed out of order: %+v", i+1, st)
+		}
+		if st.Live != 500 {
+			t.Fatalf("round %d live = %d, want 500", st.Round, st.Live)
+		}
+	}
+}
+
+// TestFreeRunnerOutcome smoke-tests the free-running mapping: convergence,
+// engine label, frontier observer ticks.
+func TestFreeRunnerOutcome(t *testing.T) {
+	ticks := 0
+	out, err := Execute(context.Background(), Spec{
+		N:        300,
+		Seed:     4,
+		Engine:   EngineFreeRunning,
+		Observer: func(st RoundStats) { ticks++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Engine != EngineFreeRunning {
+		t.Fatalf("engine = %v", out.Engine)
+	}
+	if !out.AllInformed {
+		t.Fatalf("free run did not converge: %+v", out.Result)
+	}
+	if ticks == 0 {
+		t.Fatal("frontier observer never ticked")
+	}
+}
+
+// TestScenarioOutcomeMapping checks the multi-rumor mapping: rumors, phases,
+// worst-rumor informedness and completion.
+func TestScenarioOutcomeMapping(t *testing.T) {
+	out, err := Execute(context.Background(), Spec{
+		N:         800,
+		Algorithm: "push-pull",
+		Seed:      3,
+		Rounds:    40,
+		Workers:   1,
+		Events: []scenario.Event{
+			scenario.InjectRumor{At: 1, Node: 0, Rumor: 0},
+			scenario.InjectRumor{At: 5, Node: 7, Rumor: 3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rumors) != 2 {
+		t.Fatalf("want 2 rumor outcomes, got %+v", out.Rumors)
+	}
+	if len(out.ScenarioPhases) == 0 {
+		t.Fatal("no scenario phases recorded")
+	}
+	if !out.AllInformed || out.CompletionRound == 0 {
+		t.Fatalf("both rumors should complete at n=800 within 40 rounds: %+v", out)
+	}
+	if out.Informed != out.Live {
+		t.Fatalf("informed %d want live %d", out.Informed, out.Live)
+	}
+}

@@ -29,6 +29,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -293,6 +294,10 @@ type Config struct {
 	// Workers is the engine shard count; <= 0 defaults to GOMAXPROCS.
 	// Results are bit-identical for any value.
 	Workers int
+	// Observer, when non-nil, taps every executed round through the engine's
+	// observer seam (phonecall.Observe) — per-round streaming stats without
+	// changing results.
+	Observer phonecall.RoundObserver
 }
 
 // RumorCount is a per-rumor live-informed count inside a phase report.
@@ -371,8 +376,9 @@ func (r Result) MinLiveFraction() float64 {
 
 // Run executes the scenario with one of the steppable multi-rumor protocols
 // and returns the per-phase trace. The execution is bit-identical for any
-// cfg.Workers value.
-func Run(sc Scenario, cfg Config) (Result, error) {
+// cfg.Workers value. A done ctx aborts between rounds with the context's
+// error.
+func Run(ctx context.Context, sc Scenario, cfg Config) (res Result, err error) {
 	if err := sc.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -393,11 +399,21 @@ func Run(sc Scenario, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("scenario: %w", err)
 	}
+	if ctx != nil {
+		net.SetContext(ctx)
+		defer phonecall.RecoverAbort(&err)
+	}
+	if cfg.Observer != nil {
+		if b, ok := cfg.Observer.(phonecall.NetworkBinder); ok {
+			b.BindNetwork(net)
+		}
+		net.Observe(cfg.Observer)
+	}
 	tr := phonecall.NewRumorTracker(net)
 	proto := newProtocol(algo, net, tr)
 	events := sortEvents(sc.Events)
 
-	res := Result{Scenario: sc.Name, Algorithm: algo, N: sc.N, Seed: cfg.Seed, Rounds: sc.Rounds}
+	res = Result{Scenario: sc.Name, Algorithm: algo, N: sc.N, Seed: cfg.Seed, Rounds: sc.Rounds}
 	var injectRound, completionRound [phonecall.MaxRumors]int
 
 	next := 0

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -34,7 +35,7 @@ func churnLossScenario(n int) Scenario {
 // traces, rumor outcomes — for Workers ∈ {1, 2, 8}.
 func TestScenarioDeterministicAcrossWorkers(t *testing.T) {
 	sc := churnLossScenario(6000)
-	ref, err := Run(sc, Config{Seed: 42, Workers: 1})
+	ref, err := Run(context.Background(), sc, Config{Seed: 42, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestScenarioDeterministicAcrossWorkers(t *testing.T) {
 		t.Fatalf("reference run informed nobody: %+v", ref)
 	}
 	for _, workers := range []int{2, 8} {
-		res, err := Run(sc, Config{Seed: 42, Workers: workers})
+		res, err := Run(context.Background(), sc, Config{Seed: 42, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -62,7 +63,7 @@ func TestScenarioAllAlgorithmsSpread(t *testing.T) {
 			Algorithm: algo,
 			Events:    []Event{InjectRumor{At: 1, Node: 0, Rumor: 0}},
 		}
-		res, err := Run(sc, Config{Seed: 3, Workers: 1})
+		res, err := Run(context.Background(), sc, Config{Seed: 3, Workers: 1})
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -89,7 +90,7 @@ func TestCrashStopsSpreading(t *testing.T) {
 			CrashAt{At: 1, Nodes: []int{0}},
 		},
 	}
-	res, err := Run(sc, Config{Seed: 1, Workers: 1})
+	res, err := Run(context.Background(), sc, Config{Seed: 1, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestJoinRestartsUninformed(t *testing.T) {
 			JoinAt{At: 20, Nodes: []int{5, 6, 7}},
 		},
 	}
-	res, err := Run(sc, Config{Seed: 2, Workers: 1})
+	res, err := Run(context.Background(), sc, Config{Seed: 2, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,13 +140,13 @@ func TestLossSlowsSpreading(t *testing.T) {
 		Algorithm: AlgoPush,
 		Events:    []Event{InjectRumor{At: 1, Node: 0, Rumor: 0}},
 	}
-	clean, err := Run(base, Config{Seed: 5, Workers: 1})
+	clean, err := Run(context.Background(), base, Config{Seed: 5, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	lossy := base
 	lossy.Events = append([]Event{Loss{At: 1, Rate: 0.6, Seed: 9}}, lossy.Events...)
-	dropped, err := Run(lossy, Config{Seed: 5, Workers: 1})
+	dropped, err := Run(context.Background(), lossy, Config{Seed: 5, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestMultiRumorOutcomes(t *testing.T) {
 			InjectRumor{At: 15, Node: 7, Rumor: 3},
 		},
 	}
-	res, err := Run(sc, Config{Seed: 8, Workers: 1})
+	res, err := Run(context.Background(), sc, Config{Seed: 8, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +363,7 @@ func TestRunScenarioWithGeneratedChurn(t *testing.T) {
 		Loss{At: 1, Rate: 0.05, Seed: 5},
 	)
 	sc := Scenario{Name: "generated churn", N: 2000, Rounds: 40, Events: events}
-	res, err := Run(sc, Config{Seed: 6, Workers: 1})
+	res, err := Run(context.Background(), sc, Config{Seed: 6, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -40,7 +41,7 @@ func TestSpecBuildAndRun(t *testing.T) {
 	if len(sc.Events) != 10 {
 		t.Fatalf("got %d events, want 10", len(sc.Events))
 	}
-	res, err := Run(sc, Config{Seed: cfg.Seed, Workers: 1})
+	res, err := Run(context.Background(), sc, Config{Seed: cfg.Seed, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestSpecBuildAndRun(t *testing.T) {
 		t.Fatal("spec run informed nobody")
 	}
 	// Spec runs are reproducible.
-	again, err := Run(sc, Config{Seed: cfg.Seed, Workers: 1})
+	again, err := Run(context.Background(), sc, Config{Seed: cfg.Seed, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,28 +3,39 @@
 //
 // It exposes the paper's gossip algorithms (Cluster1, Cluster2,
 // ClusterPUSH-PULL with a Δ-clustering) and the prior-work baselines they are
-// compared against, all running on an exact simulation of the random phone
-// call model with direct addressing. The facade covers the common tasks —
-// broadcasting a rumor, bounding per-round communication, injecting failures,
-// querying the lower bounds, and regenerating the experiment tables — while
-// the internal packages hold the full machinery (see DESIGN.md).
+// compared against, running on three interchangeable engines: an exact
+// sharded simulation of the random phone call model with direct addressing,
+// a goroutine-per-node lock-step runtime that is bit-identical to the
+// simulator, and a free-running live runtime with local round clocks.
 //
-// Quick start:
+// The single entry point is Run, a context-aware, composable execution API
+// built from functional options:
 //
-//	result, err := repro.Broadcast(repro.Config{N: 100_000, Algorithm: repro.AlgoCluster2})
-//	if err != nil { ... }
-//	fmt.Println(result.Rounds, result.MessagesPerNode)
+//	report, err := repro.Run(ctx, 100_000,
+//	    repro.WithAlgorithm(repro.AlgoCluster2),
+//	    repro.WithSeed(7),
+//	    repro.WithObserver(func(r repro.RoundInfo) { fmt.Println(r.Round, r.Messages) }),
+//	)
+//
+// Everything composes: failures and loss (WithFailures, WithLoss), dynamic
+// timelines and multi-rumor workloads (WithTimeline, WithRumors,
+// WithScenarioSpec), engine selection (OnSimulator, OnLockStep,
+// OnFreeRunning), and streaming per-round statistics (WithObserver).
+// Invalid combinations are rejected at the boundary with errors satisfying
+// errors.Is(err, ErrInvalidConfig). Broadcast remains as the one-shot
+// struct-config veteran; it is a thin wrapper over Run's machinery and
+// returns bit-identical results for identical configs and seeds.
 package repro
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
-	"repro/internal/failure"
 	"repro/internal/harness"
 	"repro/internal/lowerbound"
-	"repro/internal/scenario"
-	"repro/internal/trace"
+	"repro/internal/run"
 )
 
 // Algorithm selects one of the implemented gossip algorithms.
@@ -33,7 +44,9 @@ type Algorithm string
 // The available algorithms. The paper's contributions are AlgoCluster1
 // (Algorithm 1), AlgoCluster2 (Algorithm 2, the main result) and
 // AlgoClusterPushPull (Algorithms 3+4, bounded per-round communication); the
-// rest are the prior-work baselines.
+// rest are the prior-work baselines. AlgoPush, AlgoPull and AlgoPushPull
+// double as the steppable multi-rumor protocols of timeline workloads and
+// the free-running engine.
 const (
 	AlgoPush            Algorithm = Algorithm(harness.AlgoPush)
 	AlgoPull            Algorithm = Algorithm(harness.AlgoPull)
@@ -55,7 +68,35 @@ func Algorithms() []Algorithm {
 	return out
 }
 
-// Config describes one broadcast execution.
+// AlgorithmNames lists every available algorithm name in comparison order —
+// the strings ParseAlgorithm accepts.
+func AlgorithmNames() []string {
+	names := make([]string, 0, len(harness.Algorithms()))
+	for _, a := range harness.Algorithms() {
+		names = append(names, string(a))
+	}
+	return names
+}
+
+// ParseAlgorithm resolves an algorithm name (as the CLIs accept it) to an
+// Algorithm, rejecting unknown names with an ErrInvalidConfig error.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if string(a) == name {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("%w: unknown algorithm %q (have %s)",
+		ErrInvalidConfig, name, strings.Join(AlgorithmNames(), ", "))
+}
+
+// ErrInvalidConfig is wrapped by every configuration-validation error this
+// package returns; test for it with errors.Is. The message names the first
+// violated constraint.
+var ErrInvalidConfig = run.ErrInvalidConfig
+
+// Config describes one broadcast execution (see Broadcast; Run is the
+// composable superset).
 type Config struct {
 	// N is the number of nodes (required, at least 2).
 	N int
@@ -132,36 +173,29 @@ type Result struct {
 // rumor (the paper's fault-tolerance measure is that this is o(F)).
 func (r Result) UninformedSurvivors() int { return r.Live - r.Informed }
 
-// Broadcast runs one gossip execution described by cfg.
+// Broadcast runs one gossip execution described by cfg on the simulator
+// engine. It is a thin wrapper over the same execution layer Run uses and
+// returns bit-identical results for identical configs and seeds (locked by
+// the golden tests); Run is the composable superset with engine selection,
+// timelines, observers and context cancellation.
 func Broadcast(cfg Config) (Result, error) {
-	if cfg.N < 2 {
-		return Result{}, fmt.Errorf("repro: config needs N >= 2 (got %d)", cfg.N)
-	}
-	algo := cfg.Algorithm
-	if algo == "" {
-		algo = AlgoCluster2
-	}
-	opts := harness.Options{
-		PayloadBits: cfg.PayloadBits,
-		Workers:     cfg.Workers,
-		Delta:       cfg.Delta,
-		LossRate:    cfg.LossRate,
-		LossSeed:    cfg.LossSeed,
-	}
-	if cfg.Failures > 0 {
-		adv := failure.Random{Count: cfg.Failures, Seed: cfg.FailureSeed}
-		if cfg.FailureRound > 1 {
-			wave := failure.Timed{Round: cfg.FailureRound, Adversary: adv}
-			opts.Events = []scenario.Event{scenario.FromTimed(wave, cfg.N)}
-		} else {
-			opts.Adversary = adv
-		}
-	}
-	res, err := harness.Run(harness.Algorithm(algo), cfg.N, cfg.Seed, opts)
+	out, err := run.Execute(context.Background(), run.Spec{
+		N:            cfg.N,
+		Algorithm:    string(cfg.Algorithm),
+		Seed:         cfg.Seed,
+		PayloadBits:  cfg.PayloadBits,
+		Workers:      cfg.Workers,
+		Delta:        cfg.Delta,
+		Failures:     cfg.Failures,
+		FailureSeed:  cfg.FailureSeed,
+		FailureRound: cfg.FailureRound,
+		LossRate:     cfg.LossRate,
+		LossSeed:     cfg.LossSeed,
+	})
 	if err != nil {
 		return Result{}, err
 	}
-	return fromTrace(res), nil
+	return fromOutcome(out).Result, nil
 }
 
 // MinPossibleRounds simulates the knowledge-graph lower bound of Theorem 3
@@ -170,6 +204,28 @@ func Broadcast(cfg Config) (Result, error) {
 func MinPossibleRounds(n int, seed uint64) int {
 	minT, _ := lowerbound.MinRounds(n, seed)
 	return minT
+}
+
+// Feasibility is one row of the knowledge-graph feasibility trace behind
+// MinPossibleRounds: whether broadcast within T rounds is possible at all on
+// the drawn contacts (Lemma 14: every node must be within distance 2^T =
+// Reach of the source in the union of the first T contact graphs).
+type Feasibility struct {
+	T            int
+	Eccentricity int
+	Reach        int
+	Possible     bool
+}
+
+// LowerBoundTrace returns the Theorem 3 knowledge-graph bound together with
+// its per-T feasibility trace for one random draw of contacts.
+func LowerBoundTrace(n int, seed uint64) (int, []Feasibility) {
+	minT, tr := lowerbound.MinRounds(n, seed)
+	out := make([]Feasibility, 0, len(tr))
+	for _, f := range tr {
+		out = append(out, Feasibility(f))
+	}
+	return minT, out
 }
 
 // TheoreticalLowerBound returns the analytic 0.99·log₂ log₂ n round lower
@@ -184,47 +240,3 @@ func DeltaLowerBound(n, delta int) float64 { return lowerbound.DeltaBound(n, del
 // MinDelta is the smallest supported per-round communication bound for
 // AlgoClusterPushPull.
 const MinDelta = core.MinDelta
-
-// Experiment regenerates one of the paper-reproduction tables (E1–E9, see
-// DESIGN.md and EXPERIMENTS.md) over the given network sizes and seeds and
-// returns it rendered as text. Empty slices select the default sweep.
-func Experiment(id string, sizes []int, seeds []uint64) (string, error) {
-	cfg := harness.DefaultSweep()
-	if len(sizes) > 0 {
-		cfg.Sizes = sizes
-	}
-	if len(seeds) > 0 {
-		cfg.Seeds = seeds
-	}
-	table, err := harness.RunExperiment(id, cfg)
-	if err != nil {
-		return "", err
-	}
-	return table.Render(), nil
-}
-
-// ExperimentIDs lists the reproducible experiment tables.
-func ExperimentIDs() []string { return harness.ExperimentIDs() }
-
-// fromTrace converts the internal result representation to the public one.
-func fromTrace(res trace.Result) Result {
-	out := Result{
-		Algorithm:        res.Algorithm,
-		N:                res.N,
-		Seed:             res.Seed,
-		Rounds:           res.Rounds,
-		CompletionRound:  res.CompletionRound,
-		Messages:         res.Messages,
-		ControlMessages:  res.ControlMessages,
-		Bits:             res.Bits,
-		MessagesPerNode:  res.MessagesPerNode,
-		MaxCommsPerRound: res.MaxCommsPerRound,
-		Live:             res.Live,
-		Informed:         res.Informed,
-		AllInformed:      res.AllInformed,
-	}
-	for _, p := range res.Phases {
-		out.Phases = append(out.Phases, Phase(p))
-	}
-	return out
-}

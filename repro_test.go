@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -115,16 +117,42 @@ func TestLowerBoundHelpers(t *testing.T) {
 	}
 }
 
-func TestExperimentRendering(t *testing.T) {
-	out, err := Experiment("E4", []int{1000, 4000}, []uint64{1})
+func TestExperimentTable(t *testing.T) {
+	table, err := Experiment("E4", []int{1000, 4000}, []uint64{1})
 	if err != nil {
 		t.Fatal(err)
 	}
+	if table.ID != "E4" || len(table.Header) == 0 || len(table.Rows) != 2 {
+		t.Fatalf("unexpected table shape: %+v", table)
+	}
+	out := table.Render()
 	if !strings.Contains(out, "E4") || !strings.Contains(out, "1000") {
-		t.Fatalf("unexpected experiment output:\n%s", out)
+		t.Fatalf("unexpected experiment rendering:\n%s", out)
+	}
+	data, err := json.Marshal(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID   string     `json:"id"`
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != "E4" || len(decoded.Rows) != 2 {
+		t.Fatalf("JSON round-trip lost data: %s", data)
 	}
 	if _, err := Experiment("E0", nil, nil); err == nil {
 		t.Fatal("unknown experiment should fail")
+	}
+	// The sweep-tunable options are validated like Run's, and options the
+	// experiment definitions fix themselves are rejected, not ignored.
+	if _, err := Experiment("E4", []int{1000}, []uint64{1}, WithDelta(2)); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("Delta below minimum accepted by Experiment (err=%v)", err)
+	}
+	if _, err := Experiment("E4", []int{1000}, []uint64{1}, WithSeed(9)); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("non-sweep option silently ignored by Experiment (err=%v)", err)
 	}
 	if len(ExperimentIDs()) != 9 {
 		t.Fatal("want 9 experiment ids")
