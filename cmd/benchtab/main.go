@@ -1,4 +1,4 @@
-// Command benchtab regenerates the reproduction tables E1–E9 recorded in
+// Command benchtab regenerates the reproduction tables E1–E10 recorded in
 // EXPERIMENTS.md (one table per claim of the paper, plus the E8 dynamic
 // churn sweep and the E9 sim-vs-live comparison; see DESIGN.md §4), and with
 // -json benchmarks the simulator
@@ -39,7 +39,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
-	experiments := fs.String("experiment", "all", "comma-separated experiment ids (E1..E9) or 'all'")
+	experiments := fs.String("experiment", "all", "comma-separated experiment ids (E1..E10) or 'all'")
 	sizes := fs.String("sizes", "1000,10000,100000", "comma-separated network sizes")
 	seeds := fs.Int("seeds", 3, "number of seeds per configuration")
 	payload := fs.Int("b", 256, "rumor size in bits")

@@ -10,14 +10,14 @@ import (
 
 // Timeline events: the public, typed form of the dynamic-network scenario
 // vocabulary (internal/scenario). A timeline passed to WithTimeline layers
-// crash waves, rejoins, loss changes and rumor injections under an execution
-// as its rounds advance; a timeline that injects at least one rumor runs the
-// steppable multi-rumor driver, any other timeline composes with the closed
-// broadcast algorithms unchanged. Rounds are 1-based; an event at round r
-// fires before any communication of round r.
+// crash waves, rejoins, loss changes, rumor injections and Byzantine
+// corruptions under an execution as its rounds advance; a timeline that
+// injects at least one rumor runs the steppable multi-rumor driver, any other
+// timeline composes with the closed broadcast algorithms unchanged. Rounds
+// are 1-based; an event at round r fires before any communication of round r.
 
 // TimelineEvent is one timeline entry. The concrete types are CrashAt,
-// JoinAt, LossAt and InjectRumor; the interface is sealed.
+// JoinAt, LossAt, InjectRumor and CorruptAt; the interface is sealed.
 type TimelineEvent interface {
 	// event converts to the internal representation (sealed).
 	event() (scenario.Event, error)
@@ -78,6 +78,78 @@ func (e InjectRumor) event() (scenario.Event, error) {
 	return scenario.InjectRumor{At: e.At, Node: e.Node, Rumor: phonecall.RumorID(e.Rumor)}, nil
 }
 
+// Adversary names a Byzantine misbehavior from the library (see CorruptAt).
+type Adversary string
+
+// The misbehavior library. Each rewrites only the corrupted node's own
+// outgoing traffic — its calls and its pull answers — so the model's
+// per-round accounting contracts keep holding; what breaks is the honest
+// spreading the protocols rely on.
+const (
+	// AdversaryLiar advertises wrong holdings: it hides a pseudo-random
+	// subset of its true rumor bits and forges bits no real rumor owns
+	// (honest receivers discard the forgeries, so the lie wastes bandwidth
+	// and slows the spread without ever mis-informing anyone).
+	AdversaryLiar Adversary = "liar"
+	// AdversarySpammer replaces its protocol traffic with junk pushes and
+	// junk pull-answers at a configurable per-round rate (Rate; 0 means
+	// always). The one-call-per-round model caps the flood by construction.
+	AdversarySpammer Adversary = "spammer"
+	// AdversaryEclipse silently drops all traffic between the corrupted node
+	// and a victim set (Victims): calls that would reach a victim become
+	// silence, and the node stops answering pulls entirely. Corrupting every
+	// non-victim with the same eclipse cuts the victims off completely.
+	AdversaryEclipse Adversary = "eclipse"
+	// AdversaryStale answers with the holdings it had when it was corrupted,
+	// forever — mute when it held nothing. It keeps learning; it just never
+	// tells anyone anything new.
+	AdversaryStale Adversary = "stale"
+)
+
+// Adversaries lists the misbehavior library in presentation order.
+func Adversaries() []Adversary {
+	return []Adversary{AdversaryLiar, AdversarySpammer, AdversaryEclipse, AdversaryStale}
+}
+
+// CorruptAt installs the Behavior misbehavior on the listed node indexes at
+// the start of round At. Corrupted nodes keep running — they initiate,
+// answer and receive — but their outgoing traffic is rewritten by the
+// behavior, identically on all three engines. Corruption composes with the
+// other events (a corrupted node can crash later; a rejoined node stays
+// corrupted) and corrupting a node again replaces its behavior.
+type CorruptAt struct {
+	At    int
+	Nodes []int
+	// Behavior selects the misbehavior.
+	Behavior Adversary
+	// Rate is the spammer's per-round spam probability in [0,1]; 0 defaults
+	// to 1 (always spam). Ignored by the other behaviors.
+	Rate float64
+	// Seed drives the liar's and spammer's deterministic misbehavior streams.
+	Seed uint64
+	// Victims is the eclipse dropper's target set. Ignored by the other
+	// behaviors.
+	Victims []int
+}
+
+func (e CorruptAt) event() (scenario.Event, error) {
+	switch e.Behavior {
+	case AdversaryLiar, AdversarySpammer, AdversaryEclipse, AdversaryStale:
+	default:
+		return nil, fmt.Errorf("%w: unknown adversary %q (have liar, spammer, eclipse, stale)", ErrInvalidConfig, e.Behavior)
+	}
+	return scenario.CorruptAt{
+		At:    e.At,
+		Nodes: e.Nodes,
+		Adversary: scenario.AdversarySpec{
+			Kind:    scenario.AdversaryKind(e.Behavior),
+			Rate:    e.Rate,
+			Seed:    e.Seed,
+			Victims: e.Victims,
+		},
+	}, nil
+}
+
 // PickRandomNodes selects count distinct node indexes of a network of n
 // nodes, uniformly at random from seed — the oblivious adversary's choice
 // (Section 8), reusable for building CrashAt/JoinAt waves by hand.
@@ -90,6 +162,15 @@ func PickRandomNodes(n, count int, seed uint64) []int {
 // downFor rounds later, until horizon. Seed drives the node choices.
 func PeriodicChurn(n, start, period, count, downFor, horizon int, seed uint64) []TimelineEvent {
 	return fromScenarioEvents(scenario.PeriodicChurn(n, start, period, count, downFor, horizon, seed))
+}
+
+// Infiltrate generates escalating corruption waves: wave k (k = 0, 1, …)
+// corrupts count fresh random nodes at round start + k·gap with the given
+// behavior (rate tunes the spammer; the other behaviors ignore it). Seed
+// drives both the node choices and the behaviors' misbehavior streams.
+func Infiltrate(n, start, gap, waves, count int, behavior Adversary, rate float64, seed uint64) []TimelineEvent {
+	adv := scenario.AdversarySpec{Kind: scenario.AdversaryKind(behavior), Rate: rate, Seed: seed}
+	return fromScenarioEvents(scenario.Infiltrate(n, start, gap, waves, count, adv, seed))
 }
 
 // fromScenarioEvents maps internal events back onto the public types (used
@@ -106,6 +187,15 @@ func fromScenarioEvents(evs []scenario.Event) []TimelineEvent {
 			out = append(out, LossAt{At: e.At, Rate: e.Rate, Seed: e.Seed})
 		case scenario.InjectRumor:
 			out = append(out, InjectRumor{At: e.At, Node: e.Node, Rumor: int(e.Rumor)})
+		case scenario.CorruptAt:
+			out = append(out, CorruptAt{
+				At:       e.At,
+				Nodes:    e.Nodes,
+				Behavior: Adversary(e.Adversary.Kind),
+				Rate:     e.Adversary.Rate,
+				Seed:     e.Adversary.Seed,
+				Victims:  e.Adversary.Victims,
+			})
 		}
 	}
 	return out

@@ -1,0 +1,134 @@
+// Byzantine fault injection: what gossip survives, and what kills it.
+//
+// The paper's guarantees assume honest (if crash-prone) participants. This
+// walkthrough probes the boundary with the adversary library twice over:
+//
+//  1. Random corruption. A 5% minority of liars — nodes that hide a random
+//     subset of their true holdings and forge rumor bits no real rumor owns —
+//     slows push-pull down but cannot stop it: honest receivers discard the
+//     forgeries, and the honest majority's random calls route around the
+//     misinformation. The program asserts full convergence.
+//
+//  2. Targeted corruption. An eclipse attack corrupts every node EXCEPT a
+//     three-node victim set: each dropper silently discards calls that would
+//     reach a victim and answers no pulls. No amount of honest protocol
+//     helps — the victims' whole horizon lies — and the rumor provably never
+//     crosses into the victim set. The program asserts exactly that residual.
+//
+// The contrast is the point: epidemic gossip is extraordinarily robust to
+// how MANY nodes misbehave and extraordinarily fragile to WHICH ones do.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/bits"
+	"os"
+
+	"repro"
+)
+
+// n is the network size, overridable with -n.
+var n = 20_000
+
+// liarFraction is the random-corruption minority of part 1.
+const liarFraction = 0.05
+
+// victims is the eclipse target set of part 2: small enough that the
+// residual uninformed count identifies the isolated nodes exactly.
+var victims = []int{7, 8, 9}
+
+// budget is the round budget: generous against honest push-pull's Θ(log n)
+// completion, so part 1 measures a slowdown rather than a timeout and part
+// 2's non-convergence is meaningful.
+func budget() int {
+	return 4*bits.Len(uint(n)) + 30
+}
+
+// pushPull runs push-pull with rumor 0 injected at node 0 and the given
+// extra timeline events.
+func pushPull(events ...repro.TimelineEvent) repro.Report {
+	timeline := append([]repro.TimelineEvent{
+		repro.InjectRumor{At: 1, Node: 0, Rumor: 0},
+	}, events...)
+	rep, err := repro.Run(context.Background(), n,
+		repro.WithAlgorithm(repro.AlgoPushPull),
+		repro.WithSeed(7),
+		repro.WithRounds(budget()),
+		repro.WithTimeline(timeline...),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep
+}
+
+// liarMinority picks the 5% liars, never the source (the attack is on the
+// spread, not on muting the injection point).
+func liarMinority() []int {
+	count := int(liarFraction * float64(n))
+	picked := make([]int, 0, count)
+	for _, i := range repro.PickRandomNodes(n, count+1, 101) {
+		if i != 0 && len(picked) < count {
+			picked = append(picked, i)
+		}
+	}
+	return picked
+}
+
+// eclipseDroppers corrupts everyone but the victims.
+func eclipseDroppers() []int {
+	isVictim := make(map[int]bool, len(victims))
+	for _, v := range victims {
+		isVictim[v] = true
+	}
+	droppers := make([]int, 0, n-len(victims))
+	for i := 0; i < n; i++ {
+		if !isVictim[i] {
+			droppers = append(droppers, i)
+		}
+	}
+	return droppers
+}
+
+func main() {
+	flag.IntVar(&n, "n", n, "network size")
+	flag.Parse()
+	failed := false
+
+	honest := pushPull()
+	fmt.Printf("honest          push-pull: completion round %d, informed %d/%d\n",
+		honest.Rumors[0].CompletionRound, honest.Rumors[0].LiveInformed, n)
+
+	liars := pushPull(repro.CorruptAt{
+		At: 1, Nodes: liarMinority(), Behavior: repro.AdversaryLiar, Seed: 5,
+	})
+	lo := liars.Rumors[0]
+	fmt.Printf("5%% liars        push-pull: completion round %d, informed %d/%d\n",
+		lo.CompletionRound, lo.LiveInformed, n)
+	if lo.CompletionRound == 0 || lo.LiveInformed != n {
+		fmt.Println("VIOLATION: push-pull failed to converge under a 5% liar minority")
+		failed = true
+	}
+
+	eclipse := pushPull(repro.CorruptAt{
+		At: 1, Nodes: eclipseDroppers(), Behavior: repro.AdversaryEclipse, Victims: victims,
+	})
+	eo := eclipse.Rumors[0]
+	fmt.Printf("total eclipse   push-pull: completion round %d, informed %d/%d (victims dark: %d)\n",
+		eo.CompletionRound, eo.LiveInformed, n, n-eo.LiveInformed)
+	if eo.CompletionRound != 0 || eo.LiveInformed != n-len(victims) {
+		fmt.Printf("VIOLATION: eclipse residual is %d, want exactly the %d victims\n",
+			n-eo.LiveInformed, len(victims))
+		failed = true
+	}
+
+	fmt.Printf("\nsame protocol, same honest majority: %d random liars cost %d extra rounds; %d targeted droppers made %d nodes unreachable forever\n",
+		len(liarMinority()), lo.CompletionRound-honest.Rumors[0].CompletionRound,
+		n-len(victims), len(victims))
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -24,6 +24,7 @@ var exampleRuns = map[string][]string{
 	"churn":          {"-n", "2000"},
 	"faulttolerance": {"-n", "3000"},
 	"livegossip":     {"-n", "800"},
+	"byzantine":      {"-n", "2000"},
 }
 
 func TestExamplesBuildAndRun(t *testing.T) {

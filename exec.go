@@ -49,6 +49,18 @@ func Run(ctx context.Context, n int, opts ...Option) (Report, error) {
 		n = s.specN
 	}
 	s.spec.N = n
+	for _, req := range s.adversaries {
+		ev, err := CorruptAt{
+			At:       1,
+			Nodes:    PickRandomNodes(n, req.count, req.seed),
+			Behavior: req.behavior,
+			Seed:     req.seed,
+		}.event()
+		if err != nil {
+			return Report{}, err
+		}
+		s.spec.Events = append(s.spec.Events, ev)
+	}
 	out, err := run.Execute(ctx, s.spec)
 	if err != nil {
 		return Report{}, err
@@ -58,9 +70,19 @@ func Run(ctx context.Context, n int, opts ...Option) (Report, error) {
 
 // settings is the mutable state the options build up.
 type settings struct {
-	spec  run.Spec
-	specN int   // network size fixed by a scenario spec (0: none)
-	err   error // first option error
+	spec        run.Spec
+	specN       int            // network size fixed by a scenario spec (0: none)
+	adversaries []adversaryReq // WithAdversaries requests, resolved once n is known
+	err         error          // first option error
+}
+
+// adversaryReq is one WithAdversaries request. The node choice needs the
+// network size, which Run only knows after all options applied, so the
+// request is queued and expanded into a CorruptAt there.
+type adversaryReq struct {
+	behavior Adversary
+	count    int
+	seed     uint64
 }
 
 // fail records the first option error.
@@ -158,6 +180,22 @@ func WithRumors(rumors ...InjectRumor) Option {
 		events = append(events, r)
 	}
 	return WithTimeline(events...)
+}
+
+// WithAdversaries corrupts count nodes, chosen by the oblivious random
+// selection driven by seed, with the given Byzantine behavior from round 1
+// on — the corruption analogue of WithFailures. The same seed drives the
+// behavior's misbehavior stream. For scheduled, targeted or mixed
+// corruption (an eclipse with a victim set, waves of liars), build CorruptAt
+// events with WithTimeline or Infiltrate instead.
+func WithAdversaries(behavior Adversary, count int, seed uint64) Option {
+	return Option{func(s *settings) {
+		if count <= 0 {
+			s.fail(fmt.Errorf("%w: WithAdversaries needs a positive count (got %d)", ErrInvalidConfig, count))
+			return
+		}
+		s.adversaries = append(s.adversaries, adversaryReq{behavior: behavior, count: count, seed: seed})
+	}}
 }
 
 // WithRounds sets the explicit round budget for multi-rumor timelines and

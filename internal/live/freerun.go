@@ -16,8 +16,9 @@ import (
 
 // tagHoldings marks messages whose Value is a rumor-holdings bitmask (the
 // live twin of the scenario protocols' encoding: one uint64, charged one
-// b-bit payload per carried rumor).
-const tagHoldings uint8 = 111
+// b-bit payload per carried rumor). It aliases the canonical constant so the
+// holdings-directed behaviors (Liar, Stale) rewrite live traffic too.
+const tagHoldings = phonecall.TagHoldings
 
 // FreeRunConfig configures a free-running execution.
 type FreeRunConfig struct {
@@ -42,8 +43,9 @@ type FreeRunConfig struct {
 	// (the minimum local round among live nodes) reaches them: CrashAt kills
 	// nodes, JoinAt revives them uninformed at the frontier, InjectRumor
 	// seeds holdings, Loss retunes the transport's drop injection (when the
-	// transport supports it). Without an InjectRumor event node 0 starts
-	// holding rumor 0.
+	// transport supports it), CorruptAt installs Byzantine behaviors that
+	// rewrite the node's outgoing calls and pull answers from its next local
+	// round on. Without an InjectRumor event node 0 starts holding rumor 0.
 	Events []scenario.Event
 	// Transport carries the frames; nil gets a private zero-delay channel
 	// mesh. Lossy and delaying transports are the point of this mode.
@@ -82,6 +84,7 @@ type FreeRun struct {
 	registered atomic.Uint64
 	roundOf    []atomic.Int64 // last completed local round
 	resume     []atomic.Int64 // frontier to rejoin at after a revive
+	behav      []atomic.Pointer[frBehavior]
 
 	minRound     atomic.Int64
 	stopped      atomic.Bool
@@ -97,6 +100,13 @@ type FreeRun struct {
 	stats    []frStats
 	overhead int
 	wg       sync.WaitGroup
+}
+
+// frBehavior boxes a node's installed Byzantine behavior so the monitor can
+// publish it atomically while the node goroutine keeps running. A nil pointer
+// (never installed) and a boxed nil behavior both mean honest.
+type frBehavior struct {
+	b phonecall.Behavior
 }
 
 // Report is the outcome of a free-running execution.
@@ -199,6 +209,7 @@ func NewFreeRun(cfg FreeRunConfig) (*FreeRun, error) {
 		held:     make([]atomic.Uint64, cfg.N),
 		roundOf:  make([]atomic.Int64, cfg.N),
 		resume:   make([]atomic.Int64, cfg.N),
+		behav:    make([]atomic.Pointer[frBehavior], cfg.N),
 		stats:    make([]frStats, cfg.N),
 		overhead: net.MessageSize(phonecall.Message{Tag: tagHoldings}),
 	}
@@ -412,6 +423,25 @@ func (fr *FreeRun) apply(ev scenario.Event, frontier int64) {
 		}
 		fr.registered.Or(1 << e.Rumor)
 		fr.mergeHeld(e.Node, 1<<e.Rumor)
+	case scenario.CorruptAt:
+		// Same behavior construction as the scenario driver, wired to the
+		// free-running state: the stale snapshot freezes the node's current
+		// holdings, the liar forges outside whatever is registered when it
+		// speaks. The node goroutine picks the behavior up at its next round.
+		held := func(i int) uint64 { return fr.held[i].Load() }
+		registered := func() uint64 { return fr.registered.Load() }
+		for _, i := range e.Nodes {
+			if i < 0 || i >= fr.cfg.N {
+				fr.ignored++
+				continue
+			}
+			b, err := e.BehaviorFor(i, held, registered)
+			if err != nil {
+				fr.ignored++
+				continue
+			}
+			fr.behav[i].Store(&frBehavior{b: b})
+		}
 	default:
 		fr.ignored++
 	}
@@ -494,16 +524,21 @@ func (fr *FreeRun) holdingsMsg(held uint64) phonecall.Message {
 	}
 }
 
-// doRound runs node i's local round r: initiate one call per the protocol,
-// drain whatever arrived, answer pulls, merge received holdings.
+// doRound runs node i's local round r: initiate one call per the protocol
+// (filtered through the node's installed behavior, if any), drain whatever
+// arrived, answer pulls, merge received holdings.
 func (fr *FreeRun) doRound(i, r int, drain [][]byte) [][]byte {
 	st := &fr.stats[i]
 	reg := fr.registered.Load()
 	held := fr.held[i].Load() & reg
 	comms := int32(0)
 
-	sendPayload := func(j int, wantsPull bool) {
-		m := fr.holdingsMsg(held)
+	var b phonecall.Behavior
+	if cell := fr.behav[i].Load(); cell != nil {
+		b = cell.b
+	}
+
+	sendPayload := func(j int, m phonecall.Message, wantsPull bool) {
 		m.From = fr.net.ID(i)
 		st.msgs++
 		st.bits += int64(fr.net.MessageSize(m))
@@ -517,29 +552,59 @@ func (fr *FreeRun) doRound(i, r int, drain [][]byte) [][]byte {
 		fr.tr.Send(i, j, appendCallFrame(nil, r, i, false, true, nil))
 	}
 
-	initiated := false
-	j := phonecall.RandomPeer(fr.cfg.N, fr.cfg.Seed, r, i)
+	// Build the round's intent exactly like the steppable protocols, then let
+	// the behavior rewrite it — the same seam the barriered engines apply, so
+	// a timeline's adversaries act identically here.
+	var it phonecall.Intent
 	switch fr.algo {
 	case scenario.AlgoPush:
 		if held != 0 {
-			sendPayload(j, false)
-			initiated = true
+			it = phonecall.PushIntent(phonecall.RandomTarget(), fr.holdingsMsg(held))
 		}
 	case scenario.AlgoPull:
 		if held != reg || reg == 0 {
-			sendPull(j)
-			initiated = true
+			it = phonecall.PullIntent(phonecall.RandomTarget())
 		}
 	default: // push-pull
 		if held != 0 {
-			sendPayload(j, true)
+			it = phonecall.ExchangeIntent(phonecall.RandomTarget(), fr.holdingsMsg(held))
 		} else {
-			sendPull(j)
+			it = phonecall.ExchangeIntent(phonecall.RandomTarget(), phonecall.Message{})
 		}
-		initiated = true
 	}
-	if initiated {
-		comms++
+	j := phonecall.RandomPeer(fr.cfg.N, fr.cfg.Seed, r, i)
+	resolve := func(t phonecall.Target) int {
+		if t.Random {
+			return j
+		}
+		if idx, ok := fr.net.IndexOf(t.ID); ok && idx != i {
+			return idx
+		}
+		return -1
+	}
+	if b != nil {
+		target := -1
+		if it.Kind != phonecall.None {
+			target = resolve(it.Target)
+		}
+		it = b.RewriteIntent(r, i, target, it)
+	}
+	if it.Kind != phonecall.None {
+		if dst := resolve(it.Target); dst >= 0 {
+			switch it.Kind {
+			case phonecall.Push:
+				sendPayload(dst, it.Payload, false)
+			case phonecall.Pull:
+				sendPull(dst)
+			case phonecall.Exchange:
+				if it.Payload.HasContent() {
+					sendPayload(dst, it.Payload, true)
+				} else {
+					sendPull(dst)
+				}
+			}
+			comms++
+		}
 	}
 
 	drain = fr.tr.Mailbox(i).TryDrain(drain[:0])
@@ -559,10 +624,18 @@ func (fr *FreeRun) doRound(i, r int, drain [][]byte) [][]byte {
 		if f.wantsPull {
 			// Respond immediately with current holdings (plus whatever this
 			// drain just taught us — a real process would answer with its
-			// freshest state).
+			// freshest state), filtered through the behavior like the
+			// engine's response wrap.
 			h := (fr.held[i].Load() | gained) & fr.registered.Load()
+			var m phonecall.Message
+			ok := false
 			if h != 0 && fr.algo != scenario.AlgoPush {
-				m := fr.holdingsMsg(h)
+				m, ok = fr.holdingsMsg(h), true
+			}
+			if b != nil {
+				m, ok = b.RewriteResponse(r, i, m, ok)
+			}
+			if ok {
 				m.From = fr.net.ID(i)
 				st.msgs++
 				st.bits += int64(fr.net.MessageSize(m))

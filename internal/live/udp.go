@@ -23,13 +23,16 @@ const maxUDPNodes = 512
 // lossy. Free-running mode only (Synchronous returns false); the gossip
 // protocols tolerate both properties by design.
 type UDPTransport struct {
-	n        int
-	conns    []*net.UDPConn
-	addrs    []*net.UDPAddr
-	boxes    []*Mailbox
-	oversize atomic.Int64
-	closed   atomic.Bool
-	wg       sync.WaitGroup
+	n         int
+	conns     []*net.UDPConn
+	addrs     []*net.UDPAddr
+	boxes     []*Mailbox
+	oversize  atomic.Int64
+	sendFails []atomic.Int64 // per-sender write failures
+	failTotal atomic.Int64
+	closed    atomic.Bool
+	mu        sync.RWMutex // guards Send against Close pulling sockets away
+	wg        sync.WaitGroup
 }
 
 // NewUDPTransport binds n loopback sockets (ephemeral ports) and starts one
@@ -42,10 +45,11 @@ func NewUDPTransport(n int) (*UDPTransport, error) {
 		return nil, fmt.Errorf("live: UDP mesh capped at %d nodes (got %d); use the channel transport for larger runs", maxUDPNodes, n)
 	}
 	tr := &UDPTransport{
-		n:     n,
-		conns: make([]*net.UDPConn, n),
-		addrs: make([]*net.UDPAddr, n),
-		boxes: make([]*Mailbox, n),
+		n:         n,
+		conns:     make([]*net.UDPConn, n),
+		addrs:     make([]*net.UDPAddr, n),
+		boxes:     make([]*Mailbox, n),
+		sendFails: make([]atomic.Int64, n),
 	}
 	for i := 0; i < n; i++ {
 		conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
@@ -92,25 +96,54 @@ func (tr *UDPTransport) Synchronous() bool { return false }
 // Oversize returns the number of frames dropped for exceeding one datagram.
 func (tr *UDPTransport) Oversize() int64 { return tr.oversize.Load() }
 
+// SendFailures returns the total number of frames the kernel refused to
+// accept (WriteToUDP errors) across all senders. A nonzero count under
+// normal operation points at socket-buffer pressure or teardown races —
+// the loss is real and no longer silent.
+func (tr *UDPTransport) SendFailures() int64 { return tr.failTotal.Load() }
+
+// NodeSendFailures returns sender i's write-failure count.
+func (tr *UDPTransport) NodeSendFailures(i int) int64 {
+	if i < 0 || i >= tr.n {
+		return 0
+	}
+	return tr.sendFails[i].Load()
+}
+
 // Addr returns node i's bound loopback address (for diagnostics).
 func (tr *UDPTransport) Addr(i int) *net.UDPAddr { return tr.addrs[i] }
 
 // Send implements Transport: one frame, one datagram. Write errors drop the
-// frame, exactly like the wire would.
+// frame, exactly like the wire would — but they are counted per sender, not
+// silently discarded. The read lock keeps Close from pulling the socket away
+// mid-write: a Send racing Close either completes against an open socket or
+// observes closed and returns.
 func (tr *UDPTransport) Send(from, to int, frame []byte) {
-	if tr.closed.Load() || from < 0 || from >= tr.n || to < 0 || to >= tr.n {
+	if from < 0 || from >= tr.n || to < 0 || to >= tr.n {
 		return
 	}
 	if len(frame) > maxUDPFrame {
 		tr.oversize.Add(1)
 		return
 	}
-	_, _ = tr.conns[from].WriteToUDP(frame, tr.addrs[to])
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	if tr.closed.Load() {
+		return
+	}
+	if _, err := tr.conns[from].WriteToUDP(frame, tr.addrs[to]); err != nil {
+		tr.sendFails[from].Add(1)
+		tr.failTotal.Add(1)
+	}
 }
 
 // Close implements Transport: closes every socket and waits for the readers.
+// The write lock excludes in-flight Sends, so no datagram is written to a
+// socket that Close has already torn down.
 func (tr *UDPTransport) Close() error {
+	tr.mu.Lock()
 	if tr.closed.Swap(true) {
+		tr.mu.Unlock()
 		return nil
 	}
 	for _, conn := range tr.conns {
@@ -118,6 +151,7 @@ func (tr *UDPTransport) Close() error {
 			conn.Close()
 		}
 	}
+	tr.mu.Unlock()
 	tr.wg.Wait()
 	return nil
 }

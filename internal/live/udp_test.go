@@ -2,6 +2,7 @@ package live
 
 import (
 	"context"
+	"sync"
 	"testing"
 
 	"repro/internal/phonecall"
@@ -45,5 +46,66 @@ func TestUDPTransportLimits(t *testing.T) {
 	}
 	if _, err := NewUDPTransport(maxUDPNodes + 1); err == nil {
 		t.Error("over-cap mesh accepted")
+	}
+}
+
+// TestUDPSendFailureCounted forces a kernel-level write error (the sender's
+// socket is closed underneath the transport) and checks the failure is
+// counted instead of silently discarded.
+func TestUDPSendFailureCounted(t *testing.T) {
+	tr, err := NewUDPTransport(2)
+	if err != nil {
+		t.Skipf("udp unavailable: %v", err)
+	}
+	defer tr.Close()
+	tr.conns[0].Close() // yank node 0's socket; the transport still thinks it is open
+	frame := appendCallFrame(nil, 1, 0, false, true, nil)
+	tr.Send(0, 1, frame)
+	if got := tr.NodeSendFailures(0); got != 1 {
+		t.Errorf("node 0 write failure not counted (got %d)", got)
+	}
+	if got := tr.SendFailures(); got != 1 {
+		t.Errorf("total write failures = %d, want 1", got)
+	}
+	// The healthy sender is unaffected.
+	tr.Send(1, 0, frame)
+	if got := tr.NodeSendFailures(1); got != 0 {
+		t.Errorf("healthy sender charged %d failures", got)
+	}
+	// Out-of-range queries are safe.
+	if got := tr.NodeSendFailures(-1); got != 0 {
+		t.Errorf("NodeSendFailures(-1) = %d", got)
+	}
+}
+
+// TestUDPSendAfterClose pins the teardown contract: Sends racing or following
+// Close neither panic nor write to a torn-down socket, and they are not
+// counted as kernel write failures (the transport was closed, not failing).
+func TestUDPSendAfterClose(t *testing.T) {
+	tr, err := NewUDPTransport(4)
+	if err != nil {
+		t.Skipf("udp unavailable: %v", err)
+	}
+	frame := appendCallFrame(nil, 1, 0, false, true, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				tr.Send(g, (g+1)%4, frame)
+			}
+		}(g)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	tr.Send(0, 1, frame) // after Close: must be a silent no-op
+	if got := tr.SendFailures(); got != 0 {
+		t.Errorf("close race charged %d write failures", got)
+	}
+	if err := tr.Close(); err != nil { // double Close stays idempotent
+		t.Fatal(err)
 	}
 }

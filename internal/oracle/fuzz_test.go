@@ -7,6 +7,7 @@ package oracle
 //
 //	go test ./internal/oracle -run=NONE -fuzz=FuzzEngineVsOracle -fuzztime=30s
 //	go test ./internal/oracle -run=NONE -fuzz=FuzzScenarioVsOracle -fuzztime=30s
+//	go test ./internal/oracle -run=NONE -fuzz=FuzzAdversaryVsOracle -fuzztime=30s
 
 import (
 	"testing"
@@ -90,6 +91,89 @@ func decodeEvents(raw []byte, n, rounds int) []scenario.Event {
 		}
 	}
 	return events
+}
+
+// decodeAdversaryEvents is decodeEvents with the Byzantine library in the
+// mix: six bytes per event select inject/crash/join/loss or one of the four
+// corrupt kinds, so adversaries combine freely with churn and loss.
+func decodeAdversaryEvents(raw []byte, n, rounds int) []scenario.Event {
+	events := []scenario.Event{
+		scenario.InjectRumor{At: 1, Node: 0, Rumor: 0},
+	}
+	for off := 0; off+6 <= len(raw) && len(events) < 13; off += 6 {
+		b := raw[off : off+6]
+		at := 1 + int(b[1])%rounds
+		pick := uint64(b[3])<<8 | uint64(b[4])
+		count := 1 + int(b[2])%(n/4+1)
+		nodes := failure.Random{Count: count, Seed: pick}.Select(n)
+		corrupt := func(spec scenario.AdversarySpec) scenario.Event {
+			return scenario.CorruptAt{At: at, Nodes: nodes, Adversary: spec}
+		}
+		switch b[0] % 8 {
+		case 0:
+			events = append(events, scenario.InjectRumor{
+				At: at, Node: int(pick) % n, Rumor: phonecall.RumorID(b[2] % 8),
+			})
+		case 1:
+			events = append(events, scenario.CrashAt{At: at, Nodes: nodes})
+		case 2:
+			events = append(events, scenario.JoinAt{At: at, Nodes: nodes})
+		case 3:
+			events = append(events, scenario.Loss{
+				At: at, Rate: float64(b[5]%101) / 100, Seed: pick,
+			})
+		case 4:
+			events = append(events, corrupt(scenario.AdversarySpec{Kind: scenario.AdvLiar, Seed: pick}))
+		case 5:
+			events = append(events, corrupt(scenario.AdversarySpec{
+				Kind: scenario.AdvSpammer, Rate: float64(b[5]%101) / 100, Seed: pick,
+			}))
+		case 6:
+			victims := failure.Random{Count: 1 + int(b[5])%3, Seed: pick ^ 0xec1}.Select(n)
+			events = append(events, corrupt(scenario.AdversarySpec{Kind: scenario.AdvEclipse, Victims: victims}))
+		case 7:
+			events = append(events, corrupt(scenario.AdversarySpec{Kind: scenario.AdvStale}))
+		}
+	}
+	return events
+}
+
+// FuzzAdversaryVsOracle fuzzes adversarial scripts — Byzantine behaviors
+// scheduled, targeted and combined with churn and loss — through the
+// scenario differential AND the invariant Checker riding the driver's
+// observer seam. It locks three properties at once: the engine's behavior
+// wrap matches the reference's, the model invariants hold under every
+// adversary, and the honest-node invariants are skipped exactly for the
+// corrupted nodes (a violation for an honest node fails the target).
+func FuzzAdversaryVsOracle(f *testing.F) {
+	f.Add(uint16(100), uint64(1), uint8(1), uint8(2), uint8(12), []byte{4, 2, 10, 0, 9, 0})
+	f.Add(uint16(300), uint64(2), uint8(3), uint8(2), uint8(16), []byte{5, 3, 20, 0, 7, 50})
+	f.Add(uint16(200), uint64(3), uint8(2), uint8(0), uint8(10), []byte{6, 1, 5, 0, 3, 2})
+	f.Add(uint16(150), uint64(4), uint8(4), uint8(1), uint8(14), []byte{7, 9, 8, 0, 4, 0})
+	f.Add(uint16(400), uint64(5), uint8(2), uint8(2), uint8(20),
+		[]byte{4, 2, 10, 0, 9, 0, 1, 5, 8, 0, 3, 0, 3, 4, 10, 0, 6, 30})
+	f.Fuzz(func(t *testing.T, n uint16, seed uint64, workers, algoRaw, rounds uint8, raw []byte) {
+		size := 2 + int(n)%4999
+		budget := 1 + int(rounds)%40
+		sc := scenario.Scenario{
+			Name:      "adversary-fuzz",
+			N:         size,
+			Rounds:    budget,
+			Algorithm: scenario.Algorithms()[int(algoRaw)%3],
+			Events:    decodeAdversaryEvents(raw, size, budget),
+		}
+		if err := sc.Validate(); err != nil {
+			t.Skip(err)
+		}
+		checker := NewDeferredChecker()
+		cfg := scenario.Config{Seed: seed, Workers: 1 + int(workers)%8, Observer: checker}
+		if err := ScenarioDiff(sc, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if err := checker.Err(); err != nil {
+			t.Fatalf("invariant violation: %v", err)
+		}
+	})
 }
 
 // FuzzScenarioVsOracle fuzzes whole dynamic-network scenarios — protocol,

@@ -33,11 +33,31 @@ import (
 // the same spec evaluator the reference Oracle runs on — the model
 // definition, not the engine's code.
 //
+// The checks split into two classes with different scopes:
+//
+//   - MODEL invariants (everything above): properties of the execution
+//     machinery — exactly-once evaluation, the live-participant charges,
+//     inbox order, arena discipline. These hold no matter what the nodes
+//     send, so they are asserted unconditionally, Byzantine behaviors
+//     included: the engine wraps behaviors before the observer taps the
+//     callbacks, so the Checker always sees (and re-charges) the traffic
+//     that was actually sent.
+//
+//   - HONEST-NODE invariants: properties of a node following the protocol —
+//     a holdings message advertises only rumors the sender actually holds
+//     and only rumors that exist (no forged bits). These are meaningless for
+//     a corrupted node, so they are asserted exactly for the nodes without
+//     an installed behavior (phonecall.Network.Corrupted), and only when the
+//     Checker has been handed the run's rumor tracker (BindTracker; the
+//     scenario driver does this for tracker-aware observers). Without a
+//     tracker, holdings are unknowable and the honest checks stay off.
+//
 // Violations are collected (capped) rather than panicking; check Err after
 // the run. The Checker is safe for the engine's concurrent shards.
 type Checker struct {
-	net  *phonecall.Network
-	info phonecall.RoundInfo
+	net     *phonecall.Network
+	tracker *phonecall.RumorTracker
+	info    phonecall.RoundInfo
 
 	round       int
 	prevMetrics phonecall.Metrics
@@ -62,19 +82,39 @@ const maxViolations = 16
 // NewChecker builds a Checker for the network. Register it with
 // net.Observe(c); it validates every subsequent round until unregistered.
 func NewChecker(net *phonecall.Network) *Checker {
-	n := net.N()
-	return &Checker{
-		net:         net,
-		intentSeen:  make([]atomic.Int32, n),
-		intents:     make([]phonecall.Intent, n),
-		respSeen:    make([]atomic.Int32, n),
-		resps:       make([]phonecall.Message, n),
-		respOK:      make([]bool, n),
-		deliverSeen: make([]atomic.Int32, n),
-		inboxes:     make([][]phonecall.Message, n),
-		spans:       make([][2]uintptr, 0, n),
-	}
+	c := &Checker{}
+	c.BindNetwork(net)
+	return c
 }
+
+// NewDeferredChecker builds a Checker with no network yet, for drivers that
+// construct their network internally and bind observers through the
+// phonecall.NetworkBinder seam (the scenario driver). The Checker sizes its
+// state at BindNetwork time.
+func NewDeferredChecker() *Checker { return &Checker{} }
+
+// BindNetwork implements phonecall.NetworkBinder. The first bound network
+// wins; rebinding is ignored.
+func (c *Checker) BindNetwork(net *phonecall.Network) {
+	if c.net != nil {
+		return
+	}
+	n := net.N()
+	c.net = net
+	c.intentSeen = make([]atomic.Int32, n)
+	c.intents = make([]phonecall.Intent, n)
+	c.respSeen = make([]atomic.Int32, n)
+	c.resps = make([]phonecall.Message, n)
+	c.respOK = make([]bool, n)
+	c.deliverSeen = make([]atomic.Int32, n)
+	c.inboxes = make([][]phonecall.Message, n)
+	c.spans = make([][2]uintptr, 0, n)
+}
+
+// BindTracker implements phonecall.TrackerBinder: handing the Checker the
+// run's rumor tracker switches the honest-node invariants on (for
+// uncorrupted nodes). The scenario driver binds it automatically.
+func (c *Checker) BindTracker(tr *phonecall.RumorTracker) { c.tracker = tr }
 
 // violate records one contract violation.
 func (c *Checker) violate(format string, args ...any) {
@@ -127,6 +167,27 @@ func (c *Checker) ObserveIntent(i int, it phonecall.Intent) {
 	if c.net.IsFailed(i) {
 		c.violate("node %d: dead node initiated a call", i)
 	}
+	if it.Kind == phonecall.Push || it.Kind == phonecall.Exchange {
+		c.checkHonest(i, it.Payload, "payload")
+	}
+}
+
+// checkHonest asserts the honest-node contract on one outgoing holdings
+// message: an uncorrupted node advertises only rumors it actually holds and
+// only rumors that exist. Skipped exactly for corrupted nodes, and entirely
+// when no tracker is bound (holdings unknowable). Safe from shard
+// goroutines: holdings only change in the deliver pass, which runs after
+// every intent and response evaluation of the round.
+func (c *Checker) checkHonest(i int, m phonecall.Message, what string) {
+	if c.tracker == nil || m.Tag != phonecall.TagHoldings || c.net.Corrupted(i) {
+		return
+	}
+	if forged := m.Value &^ c.tracker.Registered(); forged != 0 {
+		c.violate("node %d: honest node's %s carries forged rumor bits %#x (no such rumors)", i, what, forged)
+	}
+	if over := m.Value &^ c.tracker.Held(i); over != 0 {
+		c.violate("node %d: honest node's %s advertises rumors %#x it does not hold", i, what, over)
+	}
 }
 
 // ObserveResponse implements phonecall.RoundObserver.
@@ -139,6 +200,9 @@ func (c *Checker) ObserveResponse(i int, m phonecall.Message, ok bool) {
 	}
 	if c.net.IsFailed(i) {
 		c.violate("node %d: dead node was asked to respond", i)
+	}
+	if ok {
+		c.checkHonest(i, m, "response")
 	}
 }
 

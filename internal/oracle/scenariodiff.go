@@ -37,11 +37,15 @@ func ScenarioDiff(sc scenario.Scenario, cfg scenario.Config) error {
 }
 
 // refTracker is the naive rumor bookkeeping: one holdings bitmask per node,
-// live-informed counts recomputed by scanning every node on demand.
+// live-informed counts recomputed by scanning every node on demand. behav
+// holds the per-node Byzantine behaviors installed by CorruptAt events
+// (nil = honest), applied around the reference protocol exactly like the
+// engine's own behavior wrap.
 type refTracker struct {
-	o    *Oracle
-	held []uint64
-	used uint64
+	o     *Oracle
+	held  []uint64
+	used  uint64
+	behav []phonecall.Behavior
 }
 
 func (t *refTracker) liveInformed(r phonecall.RumorID) int {
@@ -92,6 +96,22 @@ func applyEvent(o *Oracle, t *refTracker, ev scenario.Event) error {
 		}
 		t.used |= 1 << e.Rumor
 		t.held[e.Node] |= 1 << e.Rumor
+	case scenario.CorruptAt:
+		// Mirror CorruptAt.Apply: the same behavior construction, wired to
+		// the reference state (stale freezes the node's current reference
+		// holdings, the liar forges outside the reference registered mask).
+		held := func(i int) uint64 { return t.held[i] }
+		registered := func() uint64 { return t.used }
+		for _, i := range e.Nodes {
+			if i < 0 || i >= o.N() {
+				return fmt.Errorf("corrupt node %d outside [0,%d)", i, o.N())
+			}
+			b, err := e.BehaviorFor(i, held, registered)
+			if err != nil {
+				return err
+			}
+			t.behav[i] = b
+		}
 	default:
 		return fmt.Errorf("unknown event type %T", ev)
 	}
@@ -152,6 +172,42 @@ func (p *refProtocol) response(j int) (phonecall.Message, bool) {
 	return p.message(held), true
 }
 
+// wrapIntent applies the installed behaviors around the reference protocol's
+// intents for one round, mirroring the engine's behavior wrap: the target is
+// pre-resolved through the model's documented contracts (RandomPeer for
+// random targets, the ID directory for direct ones) before the behavior sees
+// the intent.
+func (t *refTracker) wrapIntent(round int, intent func(int) phonecall.Intent) func(int) phonecall.Intent {
+	return func(i int) phonecall.Intent {
+		it := intent(i)
+		b := t.behav[i]
+		if b == nil {
+			return it
+		}
+		target := -1
+		if it.Kind != phonecall.None {
+			if it.Target.Random {
+				target = phonecall.RandomPeer(t.o.N(), t.o.Seed(), round, i)
+			} else if j, ok := t.o.IndexOf(it.Target.ID); ok && j != i {
+				target = j
+			}
+		}
+		return b.RewriteIntent(round, i, target, it)
+	}
+}
+
+// wrapResponse is wrapIntent's response-side twin.
+func (t *refTracker) wrapResponse(round int, response func(int) (phonecall.Message, bool)) func(int) (phonecall.Message, bool) {
+	return func(j int) (phonecall.Message, bool) {
+		m, ok := response(j)
+		b := t.behav[j]
+		if b == nil {
+			return m, ok
+		}
+		return b.RewriteResponse(round, j, m, ok)
+	}
+}
+
 func (p *refProtocol) deliver(i int, inbox []phonecall.Message) {
 	var mask uint64
 	for _, m := range inbox {
@@ -175,7 +231,7 @@ func referenceScenarioRun(sc scenario.Scenario, cfg scenario.Config) (scenario.R
 	if err != nil {
 		return scenario.Result{}, err
 	}
-	tr := &refTracker{o: o, held: make([]uint64, sc.N)}
+	tr := &refTracker{o: o, held: make([]uint64, sc.N), behav: make([]phonecall.Behavior, sc.N)}
 	proto := &refProtocol{
 		algo:     algo,
 		o:        o,
@@ -214,7 +270,7 @@ func referenceScenarioRun(sc scenario.Scenario, cfg scenario.Config) (scenario.R
 			next++
 		}
 
-		rep := o.ExecRound(proto.intent, proto.response, proto.deliver)
+		rep := o.ExecRound(tr.wrapIntent(r, proto.intent), tr.wrapResponse(r, proto.response), proto.deliver)
 		cur.Messages += rep.Messages
 		cur.Bits += rep.Bits
 		if rep.MaxComms > cur.MaxComms {

@@ -245,6 +245,13 @@ func (net *Network) ExecRound(
 		}
 		return rep
 	}
+	if net.corrupted > 0 {
+		// Byzantine seam: behaviors rewrite outgoing traffic before the
+		// observer taps it (verifiers check what is actually sent) and
+		// before any executor delegation (the live lock-step runtime
+		// inherits behaviors through the wrapped callbacks).
+		intentOf, responseOf = net.behaviorCallbacks(intentOf, responseOf)
+	}
 	if obs != nil {
 		intentOf, responseOf, deliver = net.observedCallbacks(obs, intentOf, responseOf, deliver)
 	}

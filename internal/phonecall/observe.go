@@ -46,6 +46,16 @@ type NetworkBinder interface {
 	BindNetwork(net *Network)
 }
 
+// TrackerBinder is an optional interface for RoundObservers that want the
+// rumor tracker of the run they are observing (for example to assert that
+// honest nodes only advertise holdings they actually have). Drivers with a
+// tracker (the scenario driver) call BindTracker before the first round;
+// tracker-less drivers never do, and such observers must treat an unbound
+// tracker as "holdings unknown".
+type TrackerBinder interface {
+	BindTracker(tr *RumorTracker)
+}
+
 // Observe registers an observer on the network (nil unregisters). While an
 // observer is registered every round pays three wrapper closures and — so the
 // observer can see inboxes even under protocols that pass a nil deliver — the

@@ -250,6 +250,13 @@ type Network struct {
 	// (SetExecutor; see executor.go).
 	executor RoundExecutor
 
+	// behaviors, when allocated, holds the per-node Byzantine behaviors
+	// (SetBehavior; see behavior.go). nil until the first behavior is
+	// installed, so honest runs skip the seam entirely. corrupted counts
+	// the non-nil entries.
+	behaviors []Behavior
+	corrupted int
+
 	// Per-round callbacks, published to the pool workers through the pass
 	// channel's happens-before edge.
 	curIntent   func(i int) Intent

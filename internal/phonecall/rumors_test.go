@@ -96,3 +96,72 @@ func TestRumorInjectOnDeadNode(t *testing.T) {
 	tr.Fail(-1)
 	tr.Revive(99) // out-of-range churn is ignored
 }
+
+// TestRumorForgedBits pins the tracker's defense against the Liar: forged
+// holdings bits — rumor IDs at or beyond MaxRumors' registered space — are
+// masked away by MarkSet, so a lying advertiser can waste bandwidth but never
+// mis-inform the ground truth.
+func TestRumorForgedBits(t *testing.T) {
+	_, tr := newTrackerNet(t, 8)
+	if err := tr.Inject(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Inject(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	l := Liar{Seed: 77, Registered: tr.Registered}
+	lie := l.RewriteIntent(4, 0, 1, PushIntent(RandomTarget(),
+		Message{Tag: TagHoldings, Value: tr.Held(0), Rumor: true})).Payload
+	if lie.Value&^tr.Registered() == 0 {
+		t.Fatal("liar forged nothing — the test would be vacuous")
+	}
+	// An honest receiver merges the lie: only registered truth survives.
+	tr.MarkSet(1, lie.Value)
+	if got := tr.Held(1) &^ tr.Registered(); got != 0 {
+		t.Fatalf("forged bits recorded as holdings: %b", got)
+	}
+	if got := tr.Held(1) &^ tr.Held(0); got != 0 {
+		t.Fatalf("receiver holds bits the sender never had: %b", got)
+	}
+	// The forged IDs never become registered rumors either.
+	for r := RumorID(0); r < MaxRumors; r++ {
+		if tr.Registered()&(1<<r) != 0 && r != 0 && r != 3 {
+			t.Fatalf("forgery registered rumor %d", r)
+		}
+	}
+}
+
+// TestRumorSpamReinjection pins convergence accounting under spam re-delivery:
+// once a rumor has converged, junk re-injections and repeated MarkSets keep
+// LiveInformed exactly at n instead of drifting past it.
+func TestRumorSpamReinjection(t *testing.T) {
+	_, tr := newTrackerNet(t, 8)
+	if err := tr.Register(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		tr.Mark(i, 2)
+	}
+	if got := tr.LiveInformed(2); got != 8 {
+		t.Fatalf("converged count = %d, want 8", got)
+	}
+	// A spammer re-injecting the converged rumor — by Inject, Mark or a full
+	// holdings re-advertisement — must not move the counter.
+	for i := 0; i < 8; i++ {
+		if err := tr.Inject(i, 2); err != nil {
+			t.Fatal(err)
+		}
+		tr.Mark(i, 2)
+		tr.MarkSet(i, tr.Held(i))
+	}
+	if got := tr.LiveInformed(2); got != 8 {
+		t.Fatalf("spam re-injection drifted the count to %d", got)
+	}
+	// Spam junk (TagSpam values) merged as holdings is likewise inert beyond
+	// the registered mask.
+	junk := Spammer{Seed: 3}.junk(1, 0)
+	tr.MarkSet(4, junk.Value)
+	if got := tr.Held(4) &^ tr.Registered(); got != 0 {
+		t.Fatalf("junk value recorded outside the registered space: %b", got)
+	}
+}

@@ -122,9 +122,9 @@ type Spec struct {
 	LossRate float64
 	LossSeed uint64
 
-	// Events is a scenario timeline (crash, join, loss, inject) applied as
-	// the rounds execute. A timeline that injects at least one rumor selects
-	// the steppable multi-rumor driver; Rounds is its budget.
+	// Events is a scenario timeline (crash, join, loss, inject, corrupt)
+	// applied as the rounds execute. A timeline that injects at least one
+	// rumor selects the steppable multi-rumor driver; Rounds is its budget.
 	Events []scenario.Event
 	// Rounds is the explicit round budget for multi-rumor and free-running
 	// workloads (closed algorithms terminate on their own).
@@ -304,6 +304,13 @@ func (s Spec) validateEvents() error {
 			}
 			if e.Rumor >= phonecall.MaxRumors {
 				return invalidf("inject at round %d: rumor id %d outside [0,%d)", e.At, e.Rumor, phonecall.MaxRumors)
+			}
+		case scenario.CorruptAt:
+			if err := checkNodes(s.N, e.Nodes); err != nil {
+				return invalidf("corrupt at round %d: %v", e.At, err)
+			}
+			if err := e.Adversary.Validate(s.N); err != nil {
+				return invalidf("corrupt at round %d: %v", e.At, err)
 			}
 		}
 	}

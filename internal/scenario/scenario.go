@@ -7,8 +7,8 @@
 // this package is what lets the reproduction measure how the paper's
 // algorithms and the baselines behave under exactly those dynamics.
 //
-// A Scenario is a typed event timeline (CrashAt, JoinAt, Loss, InjectRumor)
-// over a fixed round budget. It can be executed two ways:
+// A Scenario is a typed event timeline (CrashAt, JoinAt, Loss, InjectRumor,
+// CorruptAt) over a fixed round budget. It can be executed two ways:
 //
 //   - Run drives one of the round-steppable multi-rumor gossip protocols
 //     (push, pull, push-pull) and returns a per-phase trace — the full
@@ -244,11 +244,21 @@ func (sc Scenario) Validate() error {
 		return err
 	}
 	injects := 0
+	crashedAt := map[int]map[int]bool{} // round -> crashed node set
+	var corrupts []CorruptAt
 	for _, ev := range sc.Events {
 		switch e := ev.(type) {
 		case CrashAt:
 			if err := checkNodes(sc.N, e.Nodes); err != nil {
 				return fmt.Errorf("scenario: crash at round %d: %w", e.At, err)
+			}
+			set := crashedAt[e.At]
+			if set == nil {
+				set = make(map[int]bool, len(e.Nodes))
+				crashedAt[e.At] = set
+			}
+			for _, i := range e.Nodes {
+				set[i] = true
 			}
 		case JoinAt:
 			if err := checkNodes(sc.N, e.Nodes); err != nil {
@@ -266,6 +276,27 @@ func (sc Scenario) Validate() error {
 				return fmt.Errorf("scenario: rumor id %d outside [0,%d)", e.Rumor, phonecall.MaxRumors)
 			}
 			injects++
+		case CorruptAt:
+			if err := checkNodes(sc.N, e.Nodes); err != nil {
+				return fmt.Errorf("scenario: corrupt at round %d: %w", e.At, err)
+			}
+			if err := e.Adversary.Validate(sc.N); err != nil {
+				return fmt.Errorf("scenario: corrupt at round %d: %w", e.At, err)
+			}
+			corrupts = append(corrupts, e)
+		}
+	}
+	// Corrupting and crashing the same node in the same round is ambiguous
+	// (does the behavior ever act?) and always a spec mistake.
+	for _, e := range corrupts {
+		set := crashedAt[e.At]
+		if set == nil {
+			continue
+		}
+		for _, i := range e.Nodes {
+			if set[i] {
+				return fmt.Errorf("%w: node %d is both corrupted and crashed at round %d", ErrSpec, i, e.At)
+			}
 		}
 	}
 	if injects == 0 {
@@ -410,6 +441,13 @@ func Run(ctx context.Context, sc Scenario, cfg Config) (res Result, err error) {
 		net.Observe(cfg.Observer)
 	}
 	tr := phonecall.NewRumorTracker(net)
+	if cfg.Observer != nil {
+		// Tracker-aware observers (the oracle's honest-node invariants) see
+		// the rumor state the protocols act on.
+		if b, ok := cfg.Observer.(phonecall.TrackerBinder); ok {
+			b.BindTracker(tr)
+		}
+	}
 	proto := newProtocol(algo, net, tr)
 	events := sortEvents(sc.Events)
 

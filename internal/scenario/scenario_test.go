@@ -374,3 +374,88 @@ func TestRunScenarioWithGeneratedChurn(t *testing.T) {
 		t.Fatalf("expected several phases, got %d", len(res.Phases))
 	}
 }
+
+// TestEclipseIsolatesVictims pins the eclipse dropper's two-sided physics.
+// With every non-victim corrupted by the same eclipse, a rumor injected at a
+// dropper spreads through the whole non-victim population but never crosses
+// into the victim set: calls to victims become silence and droppers answer no
+// pulls. A rumor injected AT a victim, though, still escapes — delivery stays
+// honest, so the droppers learn it the moment the victim pushes at them.
+func TestEclipseIsolatesVictims(t *testing.T) {
+	const n = 300
+	victims := []int{7, 8, 9}
+	droppers := make([]int, 0, n-len(victims))
+	for i := 0; i < n; i++ {
+		if i != 7 && i != 8 && i != 9 {
+			droppers = append(droppers, i)
+		}
+	}
+	sc := Scenario{
+		Name:      "total eclipse",
+		N:         n,
+		Rounds:    40,
+		Algorithm: AlgoPushPull,
+		Events: []Event{
+			InjectRumor{At: 1, Node: 0, Rumor: 0},
+			InjectRumor{At: 1, Node: 7, Rumor: 1},
+			CorruptAt{At: 1, Nodes: droppers, Adversary: AdversarySpec{Kind: AdvEclipse, Victims: victims}},
+		},
+	}
+	res, err := Run(context.Background(), sc, Config{Seed: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rumor 0 (from a dropper): everyone except the victims, exactly.
+	if got := res.Rumors[0].LiveInformed; got != n-len(victims) {
+		t.Errorf("eclipsed rumor reached %d nodes, want exactly %d", got, n-len(victims))
+	}
+	if res.Rumors[0].CompletionRound != 0 {
+		t.Error("eclipsed rumor reported completion despite dark victims")
+	}
+	// Rumor 1 (injected at the eclipsed node 7): the victim's own pushes carry
+	// it out, so at least the whole non-victim population learns it.
+	if got := res.Rumors[1].LiveInformed; got < n-len(victims) {
+		t.Errorf("victim-injected rumor reached only %d nodes, want ≥ %d", got, n-len(victims))
+	}
+}
+
+// TestSpammerSlowsConvergence compares the same push-pull run honest and with
+// a fifth of the network spamming: with everything else fixed, convergence
+// must be strictly later (or lost) under the flood.
+func TestSpammerSlowsConvergence(t *testing.T) {
+	const n = 500
+	base := Scenario{
+		N:         n,
+		Rounds:    60,
+		Algorithm: AlgoPushPull,
+		Events:    []Event{InjectRumor{At: 1, Node: 0, Rumor: 0}},
+	}
+	honest, err := Run(context.Background(), base, Config{Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if honest.Rumors[0].CompletionRound == 0 {
+		t.Fatal("honest run did not converge — budget too tight for the comparison")
+	}
+
+	spammers := failure.Random{Count: n / 5, Seed: 21}.Select(n)
+	picked := spammers[:0]
+	for _, i := range spammers {
+		if i != 0 {
+			picked = append(picked, i)
+		}
+	}
+	corrupt := base
+	corrupt.Events = append([]Event{
+		CorruptAt{At: 1, Nodes: picked, Adversary: AdversarySpec{Kind: AdvSpammer, Seed: 31}},
+	}, base.Events...)
+	attacked, err := Run(context.Background(), corrupt, Config{Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := attacked.Rumors[0].CompletionRound
+	if got != 0 && got <= honest.Rumors[0].CompletionRound {
+		t.Errorf("spammed run converged at round %d, honest at %d — spam did not slow the spread",
+			got, honest.Rumors[0].CompletionRound)
+	}
+}

@@ -53,6 +53,9 @@ type Spec struct {
 //	                random selection)
 //	loss          — rate, seed
 //	inject        — node, rumor
+//	corrupt       — nodes or count + pick_seed, behavior (liar, spammer,
+//	                eclipse, stale), plus rate + seed (spammer/liar) and
+//	                victims (eclipse)
 type EventSpec struct {
 	Type     string  `json:"type"`
 	Round    int     `json:"round"`
@@ -63,22 +66,26 @@ type EventSpec struct {
 	Rumor    int     `json:"rumor,omitempty"`
 	Rate     float64 `json:"rate,omitempty"`
 	Seed     uint64  `json:"seed,omitempty"`
+	Behavior string  `json:"behavior,omitempty"`
+	Victims  []int   `json:"victims,omitempty"`
 }
 
 // GeneratorSpec is one JSON generator invocation, expanded into events when
-// the spec is built. Type is one of periodic-churn, flap, waves.
+// the spec is built. Type is one of periodic-churn, flap, waves, infiltrate.
 type GeneratorSpec struct {
-	Type    string  `json:"type"`
-	Start   int     `json:"start"`
-	Period  int     `json:"period,omitempty"`   // periodic-churn
-	Count   int     `json:"count,omitempty"`    // periodic-churn, waves
-	DownFor int     `json:"down_for,omitempty"` // periodic-churn, flap
-	UpFor   int     `json:"up_for,omitempty"`   // flap
-	Nodes   []int   `json:"nodes,omitempty"`    // flap
-	Gap     int     `json:"gap,omitempty"`      // waves
-	Waves   int     `json:"waves,omitempty"`    // waves
-	Growth  float64 `json:"growth,omitempty"`   // waves
-	Seed    uint64  `json:"seed,omitempty"`
+	Type     string  `json:"type"`
+	Start    int     `json:"start"`
+	Period   int     `json:"period,omitempty"`   // periodic-churn
+	Count    int     `json:"count,omitempty"`    // periodic-churn, waves, infiltrate
+	DownFor  int     `json:"down_for,omitempty"` // periodic-churn, flap
+	UpFor    int     `json:"up_for,omitempty"`   // flap
+	Nodes    []int   `json:"nodes,omitempty"`    // flap
+	Gap      int     `json:"gap,omitempty"`      // waves, infiltrate
+	Waves    int     `json:"waves,omitempty"`    // waves, infiltrate
+	Growth   float64 `json:"growth,omitempty"`   // waves
+	Behavior string  `json:"behavior,omitempty"` // infiltrate
+	Rate     float64 `json:"rate,omitempty"`     // infiltrate (spammer)
+	Seed     uint64  `json:"seed,omitempty"`
 }
 
 // LoadSpec reads and parses a JSON spec file.
@@ -111,6 +118,12 @@ func (s Spec) Build() (Scenario, Config, error) {
 		Algorithm: Algorithm(s.Algorithm),
 	}
 	for i, es := range s.Events {
+		if es.Round < 0 {
+			return Scenario{}, Config{}, fmt.Errorf("scenario: event %d: %w: negative round %d", i, ErrSpec, es.Round)
+		}
+		if s.Rounds > 0 && es.Round > s.Rounds {
+			return Scenario{}, Config{}, fmt.Errorf("scenario: event %d: %w: round %d past the %d-round budget (the event would never fire)", i, ErrSpec, es.Round, s.Rounds)
+		}
 		ev, err := es.event(s.N)
 		if err != nil {
 			return Scenario{}, Config{}, fmt.Errorf("scenario: event %d: %w", i, err)
@@ -134,28 +147,41 @@ func (s Spec) Build() (Scenario, Config, error) {
 // event converts one JSON entry into a typed event.
 func (es EventSpec) event(n int) (Event, error) {
 	switch es.Type {
-	case "crash", "join":
+	case "crash", "join", "corrupt":
 		nodes := es.Nodes
 		if len(nodes) == 0 {
 			if es.Count <= 0 {
-				return nil, fmt.Errorf("%s event needs nodes or a positive count", es.Type)
+				return nil, fmt.Errorf("%w: %s event needs nodes or a positive count", ErrSpec, es.Type)
 			}
 			// Oblivious random selection, reusing the Section 8 adversary.
 			nodes = failure.Random{Count: es.Count, Seed: es.PickSeed}.Select(n)
 		}
-		if es.Type == "crash" {
+		switch es.Type {
+		case "crash":
 			return CrashAt{At: es.Round, Nodes: nodes}, nil
+		case "join":
+			return JoinAt{At: es.Round, Nodes: nodes}, nil
+		default:
+			return CorruptAt{
+				At:    es.Round,
+				Nodes: nodes,
+				Adversary: AdversarySpec{
+					Kind:    AdversaryKind(es.Behavior),
+					Rate:    es.Rate,
+					Seed:    es.Seed,
+					Victims: es.Victims,
+				},
+			}, nil
 		}
-		return JoinAt{At: es.Round, Nodes: nodes}, nil
 	case "loss":
 		return Loss{At: es.Round, Rate: es.Rate, Seed: es.Seed}, nil
 	case "inject":
 		if es.Rumor < 0 || es.Rumor >= phonecall.MaxRumors {
-			return nil, fmt.Errorf("rumor id %d outside [0,%d)", es.Rumor, phonecall.MaxRumors)
+			return nil, fmt.Errorf("%w: rumor id %d outside [0,%d)", ErrSpec, es.Rumor, phonecall.MaxRumors)
 		}
 		return InjectRumor{At: es.Round, Node: es.Node, Rumor: phonecall.RumorID(es.Rumor)}, nil
 	default:
-		return nil, fmt.Errorf("unknown event type %q (have crash, join, loss, inject)", es.Type)
+		return nil, fmt.Errorf("%w: unknown event type %q (have crash, join, loss, inject, corrupt)", ErrSpec, es.Type)
 	}
 }
 
@@ -166,7 +192,7 @@ func (gs GeneratorSpec) expand(n, horizon int) ([]Event, error) {
 		return PeriodicChurn(n, gs.Start, gs.Period, gs.Count, gs.DownFor, horizon, gs.Seed), nil
 	case "flap":
 		if len(gs.Nodes) == 0 {
-			return nil, fmt.Errorf("flap generator needs nodes")
+			return nil, fmt.Errorf("%w: flap generator needs nodes", ErrSpec)
 		}
 		return Flap(gs.Nodes, gs.Start, gs.DownFor, gs.UpFor, horizon), nil
 	case "waves":
@@ -175,7 +201,13 @@ func (gs GeneratorSpec) expand(n, horizon int) ([]Event, error) {
 			growth = 1
 		}
 		return Waves(n, gs.Start, gs.Gap, gs.Waves, gs.Count, growth, gs.Seed), nil
+	case "infiltrate":
+		adv := AdversarySpec{Kind: AdversaryKind(gs.Behavior), Rate: gs.Rate, Seed: gs.Seed}
+		if err := adv.Validate(n); err != nil {
+			return nil, err
+		}
+		return Infiltrate(n, gs.Start, gs.Gap, gs.Waves, gs.Count, adv, gs.Seed), nil
 	default:
-		return nil, fmt.Errorf("unknown generator type %q (have periodic-churn, flap, waves)", gs.Type)
+		return nil, fmt.Errorf("%w: unknown generator type %q (have periodic-churn, flap, waves, infiltrate)", ErrSpec, gs.Type)
 	}
 }

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -86,18 +87,80 @@ func TestParseSpecRejectsUnknownFields(t *testing.T) {
 
 func TestSpecEventErrors(t *testing.T) {
 	for name, body := range map[string]string{
-		"unknown event type": `{"n":10,"rounds":5,"events":[{"type":"meteor","round":1}]}`,
-		"crash without pick": `{"n":10,"rounds":5,"events":[{"type":"crash","round":1}]}`,
-		"bad rumor id":       `{"n":10,"rounds":5,"events":[{"type":"inject","round":1,"node":0,"rumor":64}]}`,
-		"unknown generator":  `{"n":10,"rounds":5,"generators":[{"type":"quake","start":1}]}`,
-		"flap without nodes": `{"n":10,"rounds":5,"generators":[{"type":"flap","start":1}]}`,
+		"unknown event type":   `{"n":10,"rounds":5,"events":[{"type":"meteor","round":1}]}`,
+		"crash without pick":   `{"n":10,"rounds":5,"events":[{"type":"crash","round":1}]}`,
+		"bad rumor id":         `{"n":10,"rounds":5,"events":[{"type":"inject","round":1,"node":0,"rumor":64}]}`,
+		"unknown generator":    `{"n":10,"rounds":5,"generators":[{"type":"quake","start":1}]}`,
+		"flap without nodes":   `{"n":10,"rounds":5,"generators":[{"type":"flap","start":1}]}`,
+		"negative round":       `{"n":10,"rounds":5,"events":[{"type":"crash","round":-3,"nodes":[1]}]}`,
+		"round past budget":    `{"n":10,"rounds":5,"events":[{"type":"crash","round":9,"nodes":[1]}]}`,
+		"unknown adversary":    `{"n":10,"rounds":5,"events":[{"type":"corrupt","round":1,"nodes":[1],"behavior":"gremlin"}]}`,
+		"corrupt without pick": `{"n":10,"rounds":5,"events":[{"type":"corrupt","round":1,"behavior":"liar"}]}`,
+		"spam rate out of range": `{"n":10,"rounds":5,"events":[
+			{"type":"inject","round":1,"node":0,"rumor":0},
+			{"type":"corrupt","round":1,"nodes":[1],"behavior":"spammer","rate":1.5}]}`,
+		"eclipse victim out of range": `{"n":10,"rounds":5,"events":[
+			{"type":"inject","round":1,"node":0,"rumor":0},
+			{"type":"corrupt","round":1,"nodes":[1],"behavior":"eclipse","victims":[99]}]}`,
+		"infiltrate unknown behavior": `{"n":10,"rounds":5,"generators":[{"type":"infiltrate","start":1,"waves":1,"count":2}]}`,
+		"corrupted and crashed same round": `{"n":10,"rounds":5,"events":[
+			{"type":"inject","round":1,"node":0,"rumor":0},
+			{"type":"corrupt","round":3,"nodes":[4],"behavior":"liar"},
+			{"type":"crash","round":3,"nodes":[4]}]}`,
 	} {
 		spec, err := ParseSpec([]byte(body))
 		if err != nil {
 			t.Fatalf("%s: parse: %v", name, err)
 		}
-		if _, _, err := spec.Build(); err == nil {
+		_, _, err = spec.Build()
+		if err == nil {
 			t.Errorf("%s: Build succeeded, want error", name)
+			continue
 		}
+		if !errors.Is(err, ErrSpec) {
+			t.Errorf("%s: error %v is not ErrSpec-typed", name, err)
+		}
+	}
+}
+
+// TestSpecCorruptBuilds pins the happy path of the adversarial vocabulary:
+// corrupt events and the infiltrate generator expand, validate and run.
+func TestSpecCorruptBuilds(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+		"name": "byzantine mix", "n": 300, "rounds": 20, "algorithm": "push-pull", "seed": 3,
+		"events": [
+			{"type": "inject", "round": 1, "node": 0, "rumor": 0},
+			{"type": "corrupt", "round": 2, "count": 10, "pick_seed": 7, "behavior": "liar", "seed": 9},
+			{"type": "corrupt", "round": 4, "nodes": [5, 6], "behavior": "eclipse", "victims": [1, 2]},
+			{"type": "corrupt", "round": 5, "nodes": [7], "behavior": "stale"},
+			{"type": "crash", "round": 6, "nodes": [7]}
+		],
+		"generators": [
+			{"type": "infiltrate", "start": 8, "gap": 3, "waves": 2, "count": 5,
+			 "behavior": "spammer", "rate": 0.5, "seed": 11}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, cfg, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupts := 0
+	for _, ev := range sc.Events {
+		if _, ok := ev.(CorruptAt); ok {
+			corrupts++
+		}
+	}
+	if corrupts != 5 { // 3 explicit + 2 infiltrate waves
+		t.Fatalf("got %d corrupt events, want 5", corrupts)
+	}
+	res, err := Run(context.Background(), sc, Config{Seed: cfg.Seed, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rumors[0].LiveInformed == 0 {
+		t.Fatal("adversarial spec run informed nobody")
 	}
 }

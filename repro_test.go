@@ -1,8 +1,10 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -154,7 +156,115 @@ func TestExperimentTable(t *testing.T) {
 	if _, err := Experiment("E4", []int{1000}, []uint64{1}, WithSeed(9)); !errors.Is(err, ErrInvalidConfig) {
 		t.Fatalf("non-sweep option silently ignored by Experiment (err=%v)", err)
 	}
-	if len(ExperimentIDs()) != 9 {
-		t.Fatal("want 9 experiment ids")
+	if len(ExperimentIDs()) != 10 {
+		t.Fatal("want 10 experiment ids")
+	}
+}
+
+// TestAdversariesAcrossEngines is the cross-engine acceptance check for the
+// Byzantine seam: the same corrupt timeline produces a bit-identical Report
+// on the simulator and the lock-step runtime, and fires cleanly on the
+// free-running runtime.
+func TestAdversariesAcrossEngines(t *testing.T) {
+	ctx := context.Background()
+	const n = 400
+	spam := CorruptAt{At: 2, Nodes: PickRandomNodes(n, 40, 7), Behavior: AdversarySpammer, Seed: 9}
+	opts := []Option{WithAlgorithm(AlgoCluster2), WithSeed(4), WithTimeline(spam)}
+
+	sim, err := Run(ctx, n, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, err := Run(ctx, n, WithAlgorithm(AlgoCluster2), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Bits == honest.Bits && sim.Rounds == honest.Rounds {
+		t.Fatal("spam timeline left the run untouched — the corruption never fired")
+	}
+
+	ls, err := Run(ctx, n, append(append([]Option{}, opts...), OnLockStep(TransportChannel))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Engine != "lock-step" {
+		t.Fatalf("engine = %q", ls.Engine)
+	}
+	if !reflect.DeepEqual(sim.Result, ls.Result) {
+		t.Fatalf("adversarial run diverged across engines:\nsim:  %+v\nlock: %+v", sim.Result, ls.Result)
+	}
+
+	// Free-running: a steppable inject+corrupt timeline must fire every event
+	// and still spread the rumor past the liar minority.
+	liars := make([]int, 0, 30)
+	for _, i := range PickRandomNodes(300, 31, 3) {
+		if i != 0 && len(liars) < 30 {
+			liars = append(liars, i)
+		}
+	}
+	fr, err := Run(ctx, 300,
+		WithAlgorithm(AlgoPushPull), WithSeed(6), OnFreeRunning(0, 0),
+		WithTimeline(
+			InjectRumor{At: 1, Node: 0, Rumor: 0},
+			CorruptAt{At: 2, Nodes: liars, Behavior: AdversaryLiar, Seed: 3},
+		))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Engine != "free-running" {
+		t.Fatalf("engine = %q", fr.Engine)
+	}
+	if fr.IgnoredEvents != 0 {
+		t.Fatalf("free-running ignored %d timeline events", fr.IgnoredEvents)
+	}
+	if fr.Informed < 300/2 {
+		t.Fatalf("rumor barely spread under the liar minority: informed %d of %d live", fr.Informed, fr.Live)
+	}
+}
+
+// TestWithAdversaries covers the convenience option: happy path,
+// reproducibility, and the typed error paths.
+func TestWithAdversaries(t *testing.T) {
+	ctx := context.Background()
+	run := func() Report {
+		t.Helper()
+		rep, err := Run(ctx, 500,
+			WithAlgorithm(AlgoPushPull), WithSeed(8), WithRounds(60),
+			WithRumors(InjectRumor{At: 1, Node: 0, Rumor: 0}),
+			WithAdversaries(AdversaryStale, 50, 13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := run()
+	if len(rep.Rumors) != 1 || rep.Rumors[0].LiveInformed == 0 {
+		t.Fatalf("adversarial run informed nobody: %+v", rep.Rumors)
+	}
+	if !reflect.DeepEqual(rep, run()) {
+		t.Fatal("WithAdversaries run not reproducible")
+	}
+	// The option also composes with the closed baselines (no rumor tracker:
+	// the stale minority degrades to mute).
+	if _, err := Run(ctx, 300, WithAlgorithm(AlgoCluster2), WithSeed(2),
+		WithAdversaries(AdversarySpammer, 30, 5)); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, opts := range map[string][]Option{
+		"zero count":       {WithAdversaries(AdversaryLiar, 0, 1)},
+		"negative count":   {WithAdversaries(AdversaryLiar, -3, 1)},
+		"unknown behavior": {WithAdversaries(Adversary("gremlin"), 5, 1)},
+		"unknown behavior in timeline": {WithTimeline(
+			CorruptAt{At: 1, Nodes: []int{1}, Behavior: Adversary("x")})},
+	} {
+		_, err := Run(ctx, 100, opts...)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("%s: error %v is not ErrInvalidConfig", name, err)
+		}
 	}
 }

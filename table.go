@@ -12,7 +12,7 @@ import (
 // render it (Render), serialize it (MarshalJSON) or walk the rows directly,
 // instead of re-parsing pre-rendered text.
 type Table struct {
-	// ID is the experiment identifier (E1..E9); Title its one-line
+	// ID is the experiment identifier (E1..E10); Title its one-line
 	// description.
 	ID    string
 	Title string
@@ -40,7 +40,7 @@ func (t Table) MarshalJSON() ([]byte, error) {
 	}{t.ID, t.Title, t.Header, t.Rows, t.Notes})
 }
 
-// Experiment regenerates one of the paper-reproduction tables (E1–E9, see
+// Experiment regenerates one of the paper-reproduction tables (E1–E10, see
 // DESIGN.md and EXPERIMENTS.md) over the given network sizes and seeds and
 // returns it as a typed Table. Empty slices select the default sweep; the
 // options may tune PayloadBits, Workers and Delta for the sweep's runs.
