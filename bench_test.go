@@ -215,7 +215,7 @@ func BenchmarkBroadcastCluster2(b *testing.B) {
 func BenchmarkScenarioChurn(b *testing.B) {
 	for _, n := range []int{10000, 100000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			run, rounds := harness.ScenarioChurnDriver(n, 0)
+			run, rounds := harness.ScenarioChurnDriver(n, 0, nil)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := run(); err != nil {

@@ -28,6 +28,7 @@ import (
 	"repro"
 	"repro/internal/cliutil"
 	"repro/internal/harness"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -108,6 +109,22 @@ type engineBenchResult struct {
 	Rounds  int     `json:"rounds,omitempty"`
 	Trials  int     `json:"trials,omitempty"`
 	NsPerOp float64 `json:"ns_per_op"`
+	// Telemetry is the metric snapshot of one extra, untimed, instrumented
+	// execution of the same workload (series id -> value), so each row
+	// carries its workload shape (rounds, traffic, populations) next to its
+	// timing. The timed passes stay un-instrumented, and the raw EngineRound
+	// hot loop is never instrumented at all.
+	Telemetry map[string]float64 `json:"telemetry,omitempty"`
+}
+
+// telemetrySnapshot flattens a registry into the row's telemetry map.
+func telemetrySnapshot(reg *telemetry.Registry) map[string]float64 {
+	samples := reg.Snapshot()
+	out := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		out[s.ID()] = s.Value
+	}
+	return out
 }
 
 // engineBenchReport is the schema of BENCH_engine.json.
@@ -140,37 +157,54 @@ func benchEngineRound(n, workers, rounds int) (float64, int, error) {
 // and the number of repetitions averaged by benchScenarioChurn.
 const broadcastTrials = 3
 
-// benchBroadcastCluster2 measures one full Cluster2 broadcast.
-func benchBroadcastCluster2(n, workers int) (float64, error) {
+// benchBroadcastCluster2 measures one full Cluster2 broadcast (timed passes
+// un-instrumented), then runs one extra untimed instrumented execution for
+// the row's telemetry snapshot.
+func benchBroadcastCluster2(n, workers int) (float64, map[string]float64, error) {
 	start := time.Now()
 	for seed := uint64(1); seed <= broadcastTrials; seed++ {
 		res, err := harness.Run(context.Background(), harness.AlgoCluster2, n, seed, harness.Options{Workers: workers})
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		if !res.AllInformed {
-			return 0, fmt.Errorf("cluster2 informed only %d/%d", res.Informed, res.Live)
+			return 0, nil, fmt.Errorf("cluster2 informed only %d/%d", res.Informed, res.Live)
 		}
 	}
-	return float64(time.Since(start).Nanoseconds()) / broadcastTrials, nil
+	ns := float64(time.Since(start).Nanoseconds()) / broadcastTrials
+	reg := telemetry.NewRegistry()
+	if _, err := harness.Run(context.Background(), harness.AlgoCluster2, n, 1, harness.Options{
+		Workers:  workers,
+		Observer: harness.NewEngineTelemetry(reg, string(harness.AlgoCluster2), "simulator"),
+	}); err != nil {
+		return 0, nil, err
+	}
+	return ns, telemetrySnapshot(reg), nil
 }
 
 // benchScenarioChurn measures the dynamic path: a full push-pull broadcast
 // under periodic churn and per-call loss (harness.ScenarioChurnDriver, the
 // same workload as BenchmarkScenarioChurn in bench_test.go). Returns ns per
 // scenario execution and the number of simulated rounds per execution.
-func benchScenarioChurn(n, workers int) (float64, int, error) {
-	run, rounds := harness.ScenarioChurnDriver(n, workers)
+func benchScenarioChurn(n, workers int) (float64, int, map[string]float64, error) {
+	run, rounds := harness.ScenarioChurnDriver(n, workers, nil)
 	if err := run(); err != nil { // warm-up, untimed
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	start := time.Now()
 	for t := 0; t < broadcastTrials; t++ {
 		if err := run(); err != nil {
-			return 0, 0, err
+			return 0, 0, nil, err
 		}
 	}
-	return float64(time.Since(start).Nanoseconds()) / broadcastTrials, rounds, nil
+	ns := float64(time.Since(start).Nanoseconds()) / broadcastTrials
+	reg := telemetry.NewRegistry()
+	instrumented, _ := harness.ScenarioChurnDriver(n, workers,
+		harness.NewEngineTelemetry(reg, "push-pull", "simulator"))
+	if err := instrumented(); err != nil { // untimed telemetry pass
+		return 0, 0, nil, err
+	}
+	return ns, rounds, telemetrySnapshot(reg), nil
 }
 
 // runEngineBench benchmarks the round engine and the main algorithm and
@@ -202,20 +236,21 @@ func runEngineBench(n, workers int, out string) error {
 			Name: "EngineRound", N: n, Workers: effective, Rounds: rounds, NsPerOp: ns,
 		})
 	}
-	ns, err := benchBroadcastCluster2(n, workers)
+	ns, tel, err := benchBroadcastCluster2(n, workers)
 	if err != nil {
 		return err
 	}
 	report.Results = append(report.Results, engineBenchResult{
 		Name: "BroadcastCluster2", N: n, Workers: lastEffective, Trials: broadcastTrials, NsPerOp: ns,
+		Telemetry: tel,
 	})
-	ns, scenarioRounds, err := benchScenarioChurn(n, workers)
+	ns, scenarioRounds, tel, err := benchScenarioChurn(n, workers)
 	if err != nil {
 		return err
 	}
 	report.Results = append(report.Results, engineBenchResult{
 		Name: "ScenarioChurn", N: n, Workers: lastEffective, Rounds: scenarioRounds,
-		Trials: broadcastTrials, NsPerOp: ns,
+		Trials: broadcastTrials, NsPerOp: ns, Telemetry: tel,
 	})
 
 	data, err := json.MarshalIndent(report, "", "  ")

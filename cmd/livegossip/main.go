@@ -28,6 +28,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -56,18 +59,32 @@ func run(args []string) error {
 	latency := fs.Duration("latency", 0, "per-frame delivery latency (free mode, chan transport)")
 	jitter := fs.Duration("jitter", 0, "additional per-frame jitter bound (free mode, chan transport)")
 	spec := fs.String("spec", "", "JSON scenario spec: n, rounds, algorithm and the churn/loss/rumor timeline (free mode)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while the run executes (e.g. 127.0.0.1:9797)")
+	metricsLinger := fs.Duration("metrics-linger", 0, "keep the -metrics-addr endpoint up this long after the run finishes, so scrapers catch the final state")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
+	var ms *metricsServer
+	if *metricsAddr != "" {
+		var err error
+		if ms, err = newMetricsServer(*metricsAddr); err != nil {
+			return err
+		}
+		fmt.Printf("metrics            serving /metrics and /debug/pprof on http://%s\n", ms.addr())
+		defer ms.shutdown(*metricsLinger)
+	} else if *metricsLinger != 0 {
+		return fmt.Errorf("-metrics-linger needs -metrics-addr")
+	}
+
 	switch *mode {
 	case "lockstep":
 		if *spec != "" {
 			return fmt.Errorf("-spec drives free-running mode; lock-step timelines go through cmd/gossipsim-style options")
 		}
-		return runLockStep(*algo, *n, *seed, repro.Transport(*transport),
+		return runLockStep(*algo, *n, *seed, repro.Transport(*transport), ms,
 			repro.WithFrameLoss(*drop, *dropSeed), repro.WithLinkDelay(*latency, *jitter))
 	case "free":
 		return runFree(freeArgs{
@@ -75,19 +92,69 @@ func run(args []string) error {
 			transport: repro.Transport(*transport),
 			rounds:    *rounds, skew: *skew,
 			drop: *drop, dropSeed: *dropSeed, latency: *latency, jitter: *jitter,
+			metrics: ms,
 		})
 	default:
 		return fmt.Errorf("unknown mode %q (have lockstep, free)", *mode)
 	}
 }
 
+// metricsServer serves a shared MetricsRegistry as a Prometheus /metrics
+// endpoint plus the net/http/pprof profiling handlers, on a listener bound
+// synchronously (so address errors surface before the run starts).
+type metricsServer struct {
+	reg *repro.MetricsRegistry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// newMetricsServer binds addr and starts serving in the background.
+func newMetricsServer(addr string) (*metricsServer, error) {
+	reg := repro.NewMetricsRegistry()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics endpoint: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ms := &metricsServer{reg: reg, ln: ln, srv: &http.Server{Handler: mux}}
+	go ms.srv.Serve(ln)
+	return ms, nil
+}
+
+// addr returns the bound address (resolving a requested :0 port).
+func (ms *metricsServer) addr() string { return ms.ln.Addr().String() }
+
+// option returns the telemetry option wiring the run to this endpoint's
+// registry, or a no-op when no endpoint is up.
+func (ms *metricsServer) option() repro.Option {
+	if ms == nil {
+		return repro.Option{}
+	}
+	return repro.WithTelemetry(ms.reg)
+}
+
+// shutdown optionally lingers (final-state scrapes), then closes the server.
+func (ms *metricsServer) shutdown(linger time.Duration) {
+	if linger > 0 {
+		fmt.Printf("metrics            lingering %v for final scrapes\n", linger)
+		time.Sleep(linger)
+	}
+	ms.srv.Close()
+}
+
 // runLockStep executes a closed algorithm on the barrier-synchronized live
 // runtime and prints its (engine-identical) complexity report.
-func runLockStep(algoName string, n int, seed uint64, transport repro.Transport, shaping ...repro.Option) error {
+func runLockStep(algoName string, n int, seed uint64, transport repro.Transport, ms *metricsServer, shaping ...repro.Option) error {
 	// The shaping options carry the free-running-only flags (-drop, -latency,
 	// -jitter) so a lock-step invocation that sets them is rejected by the
 	// API's validation instead of silently ignored.
-	opts := append([]repro.Option{repro.OnLockStep(transport), repro.WithSeed(seed)}, shaping...)
+	opts := append([]repro.Option{repro.OnLockStep(transport), repro.WithSeed(seed), ms.option()}, shaping...)
 	if algoName != "" {
 		algo, err := repro.ParseAlgorithm(algoName)
 		if err != nil {
@@ -126,6 +193,7 @@ type freeArgs struct {
 	dropSeed  uint64
 	latency   time.Duration
 	jitter    time.Duration
+	metrics   *metricsServer
 }
 
 // runFree executes the free-running workload, optionally shaped by a JSON
@@ -147,6 +215,7 @@ func runFree(a freeArgs) error {
 		repro.WithTransport(a.transport),
 		repro.WithFrameLoss(a.drop, a.dropSeed),
 		repro.WithLinkDelay(a.latency, a.jitter),
+		a.metrics.option(),
 	)
 	if a.spec == "" || a.set["seed"] {
 		opts = append(opts, repro.WithSeed(a.seed))
@@ -173,6 +242,10 @@ func runFree(a freeArgs) error {
 	fmt.Printf("bits               %d\n", rep.Bits)
 	fmt.Printf("max comms/round Δ  %d\n", rep.MaxCommsPerRound)
 	fmt.Printf("frame drops        %d\n", rep.Drops)
+	if rep.SendFailures > 0 {
+		fmt.Printf("send failures      %d (kernel refused writes on %d node socket(s))\n",
+			rep.SendFailures, len(rep.NodeSendFailures))
+	}
 	fmt.Printf("wall time          %v\n", rep.Wall.Round(time.Millisecond))
 	if rep.UnfiredEvents > 0 {
 		fmt.Printf("warning            %d timeline event(s) never fired (past the final frontier)\n", rep.UnfiredEvents)

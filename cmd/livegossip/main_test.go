@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -86,6 +88,81 @@ func TestRunFreeFromSpec(t *testing.T) {
 		return run([]string{"-mode", "free", "-spec", path, "-n", "50"})
 	}); err == nil || !strings.Contains(err.Error(), "conflicts") {
 		t.Errorf("-n alongside -spec accepted (err=%v)", err)
+	}
+}
+
+// TestMetricsEndpoint runs free mode with a metrics endpoint on an ephemeral
+// port and scrapes it: /metrics must serve parseable Prometheus text carrying
+// the run's series (counters survive the run, so a post-run scrape sees the
+// final state), and the pprof mux must answer.
+func TestMetricsEndpoint(t *testing.T) {
+	ms, err := newMetricsServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.shutdown(0)
+	out, err := testutil.CaptureStdout(t, func() error {
+		return runFree(freeArgs{n: 400, seed: 2, drop: 0.05, dropSeed: 99, metrics: ms})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "converged          all 400 live nodes informed") {
+		t.Fatalf("instrumented run did not converge:\n%s", out)
+	}
+
+	resp, err := http.Get("http://" + ms.addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	for _, marker := range []string{
+		"# TYPE repro_messages_total counter",
+		`repro_messages_total{algo="push-pull",engine="free-running"} `,
+		"repro_informed_nodes ",
+		"repro_frontier_round ",
+	} {
+		if !strings.Contains(text, marker) {
+			t.Errorf("exposition missing %q:\n%s", marker, text)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("unparseable exposition line %q", line)
+		}
+	}
+
+	// The pprof mux shares the listener.
+	pp, err := http.Get("http://" + ms.addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline status %d", pp.StatusCode)
+	}
+}
+
+// TestMetricsFlagValidation pins the flag contract: a bad address fails
+// before the run, and -metrics-linger without an endpoint is rejected.
+func TestMetricsFlagValidation(t *testing.T) {
+	if _, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-mode", "free", "-n", "50", "-metrics-addr", "256.0.0.1:bogus"})
+	}); err == nil || !strings.Contains(err.Error(), "metrics endpoint") {
+		t.Errorf("bad metrics address accepted (err=%v)", err)
+	}
+	if _, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-mode", "free", "-n", "50", "-metrics-linger", "5s"})
+	}); err == nil || !strings.Contains(err.Error(), "-metrics-addr") {
+		t.Errorf("-metrics-linger without -metrics-addr accepted (err=%v)", err)
 	}
 }
 

@@ -416,7 +416,20 @@ type Report struct {
 	UnfiredEvents int
 	IgnoredEvents int
 	Wall          time.Duration
+
+	// SendFailures counts sends the OS refused (free-running UDP transport
+	// only) — loss the transport itself produced, as opposed to injected
+	// frame drops. NodeSendFailures breaks the count down by sending node
+	// and is nil when nothing failed.
+	SendFailures     int64
+	NodeSendFailures map[int]int64
+
+	snapshot []MetricSample
 }
+
+// Snapshot returns the WithTelemetry registry's state at the moment the run
+// finished, in deterministic order; nil when the run collected no telemetry.
+func (r Report) Snapshot() []MetricSample { return r.snapshot }
 
 // fromOutcome maps the internal outcome onto the public Report.
 func fromOutcome(out run.Outcome) Report {
@@ -436,12 +449,15 @@ func fromOutcome(out run.Outcome) Report {
 			Informed:         out.Informed,
 			AllInformed:      out.AllInformed,
 		},
-		Engine:        out.Engine.String(),
-		Scenario:      out.Scenario,
-		Drops:         out.Drops,
-		UnfiredEvents: out.UnfiredEvents,
-		IgnoredEvents: out.IgnoredEvents,
-		Wall:          out.Wall,
+		Engine:           out.Engine.String(),
+		Scenario:         out.Scenario,
+		Drops:            out.Drops,
+		UnfiredEvents:    out.UnfiredEvents,
+		IgnoredEvents:    out.IgnoredEvents,
+		Wall:             out.Wall,
+		SendFailures:     out.SendFailures,
+		NodeSendFailures: out.NodeSendFailures,
+		snapshot:         publicSamples(out.Telemetry),
 	}
 	for _, p := range out.Result.Phases {
 		rep.Result.Phases = append(rep.Result.Phases, Phase(p))

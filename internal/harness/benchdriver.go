@@ -40,8 +40,10 @@ const EngineWarmupRounds = 2
 // 16 rounds. Both BenchmarkScenarioChurn (bench_test.go) and `benchtab
 // -json` time this same driver, so the dynamic path's perf trajectory stays
 // comparable across tools. The returned run function executes the whole
-// scenario once and verifies the rumor actually spread.
-func ScenarioChurnDriver(n, workers int) (run func() error, rounds int) {
+// scenario once and verifies the rumor actually spread. A non-nil obs is
+// installed on each execution (benchtab's untimed telemetry pass); timed
+// passes keep it nil so the benchmark measures the raw engine.
+func ScenarioChurnDriver(n, workers int, obs phonecall.RoundObserver) (run func() error, rounds int) {
 	rounds = 2*bits.Len(uint(n)) + 16
 	events := append(
 		scenario.PeriodicChurn(n, 4, 6, n/50, 4, rounds, 21),
@@ -56,7 +58,7 @@ func ScenarioChurnDriver(n, workers int) (run func() error, rounds int) {
 		Events:    events,
 	}
 	return func() error {
-		res, err := scenario.Run(context.Background(), sc, scenario.Config{Seed: 1, Workers: workers})
+		res, err := scenario.Run(context.Background(), sc, scenario.Config{Seed: 1, Workers: workers, Observer: obs})
 		if err != nil {
 			return err
 		}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/phonecall"
 	"repro/internal/scenario"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -41,7 +42,10 @@ type LiveOptions struct {
 	PayloadBits int
 	// OnFrontier, when non-nil, streams free-running frontier advances
 	// (live.FreeRunConfig.OnFrontier) — the async analogue of Options.Observer.
-	OnFrontier func(frontier, live int)
+	OnFrontier func(live.FrontierInfo)
+	// Telemetry, when non-nil, is handed to the free-running runtime so its
+	// node send paths feed live traffic counters (live.FreeRunConfig.Telemetry).
+	Telemetry *telemetry.Registry
 }
 
 // transport builds the configured transport.
@@ -133,6 +137,7 @@ func RunFreeRunning(ctx context.Context, n int, seed uint64, algo scenario.Algor
 		Events:      events,
 		Transport:   tr,
 		OnFrontier:  lo.OnFrontier,
+		Telemetry:   lo.Telemetry,
 	})
 	if err != nil {
 		return live.Report{}, err

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"math/bits"
+	"time"
+
+	"repro/internal/phonecall"
+	"repro/internal/telemetry"
+)
+
+// EngineTelemetry feeds a telemetry.Registry from the engine's observer seam
+// (phonecall.Observe): per-round traffic counters, population gauges and the
+// round-duration histogram, labeled by algorithm and engine. It rides the
+// same RoundObserver contract as every other observer, so registering it
+// cannot change results or metrics — only runs that opt in pay the observer
+// overhead at all.
+//
+// The exported series (see DESIGN.md §11):
+//
+//	repro_rounds_total{algo,engine}      executed rounds
+//	repro_messages_total{algo,engine}    messages sent (payload + control)
+//	repro_bits_total{algo,engine}        bits sent
+//	repro_live_nodes                     live population after the last round
+//	repro_corrupted_nodes                Byzantine-corrupted population
+//	repro_max_comms_per_round            high-water mark of the engine's Δ
+//	repro_informed_nodes                 live nodes holding the worst-spread
+//	                                     rumor (rumor-tracking runs only)
+//	repro_round_duration_seconds         histogram of wall time per round
+type EngineTelemetry struct {
+	reg *telemetry.Registry
+
+	rounds, msgs, bitsSent *telemetry.Counter
+	liveNodes, corrupted   *telemetry.Gauge
+	maxComms               *telemetry.Gauge
+	informed               *telemetry.Gauge // created lazily on BindTracker
+	duration               *telemetry.Histogram
+
+	net     *phonecall.Network
+	tracker *phonecall.RumorTracker
+	begin   time.Time
+}
+
+// NewEngineTelemetry resolves the instruments for one (algorithm, engine)
+// pair up front, so the per-round updates never touch the registry map.
+func NewEngineTelemetry(reg *telemetry.Registry, algo, engine string) *EngineTelemetry {
+	by := []telemetry.Label{{Key: "algo", Value: algo}, {Key: "engine", Value: engine}}
+	return &EngineTelemetry{
+		reg:       reg,
+		rounds:    reg.Counter("repro_rounds_total", by...),
+		msgs:      reg.Counter("repro_messages_total", by...),
+		bitsSent:  reg.Counter("repro_bits_total", by...),
+		liveNodes: reg.Gauge("repro_live_nodes"),
+		corrupted: reg.Gauge("repro_corrupted_nodes"),
+		maxComms:  reg.Gauge("repro_max_comms_per_round"),
+		duration:  reg.Histogram("repro_round_duration_seconds", nil),
+	}
+}
+
+// BindNetwork implements phonecall.NetworkBinder.
+func (e *EngineTelemetry) BindNetwork(net *phonecall.Network) { e.net = net }
+
+// BindTracker implements phonecall.TrackerBinder. Rumor-tracking drivers
+// (the scenario driver) bind their tracker, which turns on the
+// repro_informed_nodes gauge; closed algorithms have no tracker and the
+// gauge is never registered, instead of exporting a misleading zero.
+func (e *EngineTelemetry) BindTracker(tr *phonecall.RumorTracker) {
+	e.tracker = tr
+	e.informed = e.reg.Gauge("repro_informed_nodes")
+}
+
+// BeginRound implements phonecall.RoundObserver (coordinator goroutine).
+func (e *EngineTelemetry) BeginRound(round int, info phonecall.RoundInfo) {
+	e.begin = time.Now()
+}
+
+// ObserveIntent implements phonecall.RoundObserver (no-op; shard goroutine).
+func (e *EngineTelemetry) ObserveIntent(i int, it phonecall.Intent) {}
+
+// ObserveResponse implements phonecall.RoundObserver (no-op).
+func (e *EngineTelemetry) ObserveResponse(i int, m phonecall.Message, ok bool) {}
+
+// ObserveDeliver implements phonecall.RoundObserver (no-op).
+func (e *EngineTelemetry) ObserveDeliver(i int, inbox []phonecall.Message) {}
+
+// EndRound implements phonecall.RoundObserver: fold the engine's own round
+// report into the registry. Coordinator goroutine, allocation-free.
+func (e *EngineTelemetry) EndRound(rep phonecall.RoundReport) {
+	e.rounds.Add(1)
+	e.msgs.Add(rep.Messages)
+	e.bitsSent.Add(rep.Bits)
+	e.maxComms.Max(int64(rep.MaxComms))
+	e.duration.Observe(time.Since(e.begin).Seconds())
+	if e.net != nil {
+		e.liveNodes.Set(int64(e.net.LiveCount()))
+		e.corrupted.Set(int64(e.net.CorruptedCount()))
+	}
+	if e.tracker != nil {
+		e.informed.Set(int64(WorstSpread(e.tracker)))
+	}
+}
+
+// WorstSpread returns the live-informed count of the worst-spread registered
+// rumor — the same "informed" the scenario result reports — or 0 when no
+// rumor is registered yet.
+func WorstSpread(tr *phonecall.RumorTracker) int {
+	reg := tr.Registered()
+	if reg == 0 {
+		return 0
+	}
+	worst := -1
+	for reg != 0 {
+		r := bits.TrailingZeros64(reg)
+		reg &^= 1 << r
+		if c := tr.LiveInformed(phonecall.RumorID(r)); worst < 0 || c < worst {
+			worst = c
+		}
+	}
+	return worst
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/phonecall"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -51,10 +52,29 @@ type FreeRunConfig struct {
 	// mesh. Lossy and delaying transports are the point of this mode.
 	Transport Transport
 	// OnFrontier, when non-nil, is invoked from the monitor goroutine every
-	// time the round frontier advances, with the new frontier and the live
-	// node count — the free-running analogue of a per-round observer. There
-	// is no global round, so no per-round traffic figures accompany it.
-	OnFrontier func(frontier, live int)
+	// time the round frontier advances, with the monitor's population view —
+	// the free-running analogue of a per-round observer. There is no global
+	// round, so no per-round traffic figures accompany it.
+	OnFrontier func(FrontierInfo)
+	// Telemetry, when non-nil, receives live traffic counters from the node
+	// send paths (repro_messages_total, repro_bits_total labeled
+	// engine="free-running"), sharded per node and merged at read time — the
+	// counters a /metrics scrape sees move while the run executes. Nil keeps
+	// the send path branch-identical to a run without telemetry.
+	Telemetry *telemetry.Registry
+}
+
+// FrontierInfo is the monitor's view of one frontier advance.
+type FrontierInfo struct {
+	// Frontier is the new round frontier (the minimum local round among live
+	// nodes); MaxRound is the furthest local clock, so MaxRound-Frontier is
+	// the current skew.
+	Frontier int
+	MaxRound int
+	// Live counts live nodes; Informed counts live nodes holding every
+	// registered rumor.
+	Live     int
+	Informed int
 }
 
 // frStats is one node's cumulative accounting, cache-line padded; written by
@@ -100,6 +120,17 @@ type FreeRun struct {
 	stats    []frStats
 	overhead int
 	wg       sync.WaitGroup
+
+	// tel holds the pre-resolved telemetry counters (nil without a registry):
+	// instrument lookup happens once in NewFreeRun, the node send paths only
+	// pay a nil check and two sharded atomic adds.
+	tel *frTelemetry
+}
+
+// frTelemetry is the free-running send-path instrument set.
+type frTelemetry struct {
+	msgs     *telemetry.Counter // payload + control, like the engine's report
+	bitsSent *telemetry.Counter
 }
 
 // frBehavior boxes a node's installed Byzantine behavior so the monitor can
@@ -134,6 +165,12 @@ type Report struct {
 	MaxComms int
 	// Drops counts transport-level loss injections (channel transport).
 	Drops int64
+	// SendFailures counts frames the transport's sender could not hand to
+	// the OS (UDP write errors); NodeSendFailures maps the failing sender
+	// indexes to their counts (nil when nothing failed). Zero on transports
+	// that cannot fail a send (the channel mesh).
+	SendFailures     int64
+	NodeSendFailures map[int]int64
 	// UnfiredEvents counts timeline events past the final frontier;
 	// IgnoredEvents counts events the runtime could not honor (for example a
 	// Loss event on a transport without loss injection).
@@ -213,6 +250,16 @@ func NewFreeRun(cfg FreeRunConfig) (*FreeRun, error) {
 		stats:    make([]frStats, cfg.N),
 		overhead: net.MessageSize(phonecall.Message{Tag: tagHoldings}),
 	}
+	if cfg.Telemetry != nil {
+		by := []telemetry.Label{
+			{Key: "algo", Value: string(cfg.Algorithm)},
+			{Key: "engine", Value: "free-running"},
+		}
+		fr.tel = &frTelemetry{
+			msgs:     cfg.Telemetry.Counter("repro_messages_total", by...),
+			bitsSent: cfg.Telemetry.Counter("repro_bits_total", by...),
+		}
+	}
 	fr.cond = sync.NewCond(&fr.mu)
 	for i := range fr.liveFlag {
 		fr.liveFlag[i].Store(true)
@@ -284,6 +331,17 @@ func (fr *FreeRun) Run(ctx context.Context) (Report, error) {
 	if ct, ok := fr.tr.(*ChannelTransport); ok {
 		rep.Drops = ct.Drops()
 	}
+	if sf, ok := fr.tr.(SendFailureCounter); ok {
+		rep.SendFailures = sf.SendFailures()
+		for i := 0; i < fr.cfg.N; i++ {
+			if c := sf.NodeSendFailures(i); c > 0 {
+				if rep.NodeSendFailures == nil {
+					rep.NodeSendFailures = make(map[int]int64)
+				}
+				rep.NodeSendFailures[i] = c
+			}
+		}
+	}
 	if ctx != nil && ctx.Err() != nil {
 		return rep, ctx.Err()
 	}
@@ -336,7 +394,11 @@ func (fr *FreeRun) tick() {
 	// Convergence: every live node holds every injected rumor.
 	reg := fr.registered.Load()
 	liveCount, informed, allDone := 0, 0, true
+	maxRound := int64(0)
 	for i := 0; i < fr.cfg.N; i++ {
+		if r := fr.roundOf[i].Load(); r > maxRound {
+			maxRound = r
+		}
 		if !fr.liveFlag[i].Load() {
 			continue
 		}
@@ -349,7 +411,12 @@ func (fr *FreeRun) tick() {
 		}
 	}
 	if advanced && fr.cfg.OnFrontier != nil {
-		fr.cfg.OnFrontier(int(frontier), liveCount)
+		fr.cfg.OnFrontier(FrontierInfo{
+			Frontier: int(frontier),
+			MaxRound: int(maxRound),
+			Live:     liveCount,
+			Informed: informed,
+		})
 	}
 	if reg != 0 && liveCount > 0 && informed == liveCount {
 		fr.completionAt.CompareAndSwap(0, max(frontier, 1))
@@ -540,15 +607,25 @@ func (fr *FreeRun) doRound(i, r int, drain [][]byte) [][]byte {
 
 	sendPayload := func(j int, m phonecall.Message, wantsPull bool) {
 		m.From = fr.net.ID(i)
+		size := int64(fr.net.MessageSize(m))
 		st.msgs++
-		st.bits += int64(fr.net.MessageSize(m))
+		st.bits += size
 		st.sent++
+		if fr.tel != nil {
+			fr.tel.msgs.AddShard(i, 1)
+			fr.tel.bitsSent.AddShard(i, size)
+		}
 		fr.tr.Send(i, j, appendCallFrame(nil, r, i, true, wantsPull, &m))
 	}
 	sendPull := func(j int) {
+		size := int64(fr.net.ControlBits())
 		st.control++
-		st.bits += int64(fr.net.ControlBits())
+		st.bits += size
 		st.sent++
+		if fr.tel != nil {
+			fr.tel.msgs.AddShard(i, 1)
+			fr.tel.bitsSent.AddShard(i, size)
+		}
 		fr.tr.Send(i, j, appendCallFrame(nil, r, i, false, true, nil))
 	}
 
@@ -637,9 +714,14 @@ func (fr *FreeRun) doRound(i, r int, drain [][]byte) [][]byte {
 			}
 			if ok {
 				m.From = fr.net.ID(i)
+				size := int64(fr.net.MessageSize(m))
 				st.msgs++
-				st.bits += int64(fr.net.MessageSize(m))
+				st.bits += size
 				st.sent++
+				if fr.tel != nil {
+					fr.tel.msgs.AddShard(i, 1)
+					fr.tel.bitsSent.AddShard(i, size)
+				}
 				fr.tr.Send(i, f.src, appendRespFrame(nil, r, i, &m))
 			}
 		}

@@ -2,10 +2,12 @@ package live
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 )
 
 // TestFreeRunInformsAllUnderDrop is the free-running acceptance gate: 1000
@@ -209,6 +211,72 @@ func TestFreeRunLateEventsDoNotHang(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("free-running run with a past-budget event hung")
+	}
+}
+
+// TestFreeRunTelemetryMatchesReport pins the send-path instrumentation: the
+// live traffic counters a registry collects during a free-running run must
+// agree exactly with the report's own accounting (every send site increments
+// both), and the frontier stream must be monotone with MaxRound >= Frontier.
+func TestFreeRunTelemetryMatchesReport(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var mu sync.Mutex
+	var frontiers []FrontierInfo
+	fr, err := NewFreeRun(FreeRunConfig{
+		N:         200,
+		Seed:      13,
+		Rounds:    150,
+		Telemetry: reg,
+		OnFrontier: func(fi FrontierInfo) {
+			mu.Lock()
+			frontiers = append(frontiers, fi)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fr.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllInformed {
+		t.Fatalf("run did not converge: %+v", rep)
+	}
+	samples := map[string]float64{}
+	for _, s := range reg.Snapshot() {
+		samples[s.ID()] = s.Value
+	}
+	msgs := samples[`repro_messages_total{algo="push-pull",engine="free-running"}`]
+	if want := float64(rep.Messages + rep.ControlMessages); msgs != want {
+		t.Errorf("repro_messages_total = %v, want %v (report: %+v)", msgs, want, rep)
+	}
+	bits := samples[`repro_bits_total{algo="push-pull",engine="free-running"}`]
+	if want := float64(rep.Bits); bits != want {
+		t.Errorf("repro_bits_total = %v, want %v", bits, want)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(frontiers) == 0 {
+		t.Fatal("OnFrontier never fired")
+	}
+	prev := 0
+	for _, fi := range frontiers {
+		if fi.Frontier <= prev {
+			t.Fatalf("frontier stream not strictly increasing: %+v", frontiers)
+		}
+		prev = fi.Frontier
+		if fi.MaxRound < fi.Frontier {
+			t.Fatalf("MaxRound %d below frontier %d", fi.MaxRound, fi.Frontier)
+		}
+		if fi.Live <= 0 || fi.Informed < 0 || fi.Informed > fi.Live {
+			t.Fatalf("implausible frontier populations: %+v", fi)
+		}
+	}
+	last := frontiers[len(frontiers)-1]
+	if last.Live != rep.Live || last.Informed > rep.Informed {
+		t.Errorf("final frontier %+v disagrees with report informed=%d live=%d",
+			last, rep.Informed, rep.Live)
 	}
 }
 

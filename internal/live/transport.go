@@ -32,6 +32,14 @@ type LossSetter interface {
 	SetLoss(rate float64, seed uint64)
 }
 
+// SendFailureCounter is the optional transport capability of counting sends
+// the OS refused (the UDP transport's WriteToUDP errors). The free-running
+// report surfaces the counts so real loss is never silent.
+type SendFailureCounter interface {
+	SendFailures() int64
+	NodeSendFailures(i int) int64
+}
+
 // Mailbox is a node's inbound frame queue: an unbounded, mutex-guarded slice
 // with an edge-triggered notification channel. Receivers either poll with
 // TryDrain (lock-step phases, free-running round loops) or block on Notify

@@ -78,6 +78,34 @@ func TestUDPSendFailureCounted(t *testing.T) {
 	}
 }
 
+// TestUDPSendFailuresSurfacedInReport runs a free-running workload whose
+// source node has a dead socket underneath the transport: every one of its
+// kernel writes fails, and the report must surface the count (total and
+// per-node) instead of letting real loss pass as silence.
+func TestUDPSendFailuresSurfacedInReport(t *testing.T) {
+	tr, err := NewUDPTransport(3)
+	if err != nil {
+		t.Skipf("udp unavailable: %v", err)
+	}
+	defer tr.Close()
+	tr.conns[0].Close() // node 0 (the rumor source) loses its socket
+	fr, err := NewFreeRun(FreeRunConfig{N: 3, Seed: 2, Rounds: 30, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fr.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SendFailures == 0 {
+		t.Fatalf("dead socket produced no counted send failures: %+v", rep)
+	}
+	if rep.NodeSendFailures[0] != rep.SendFailures {
+		t.Errorf("per-node breakdown %v does not attribute all %d failures to node 0",
+			rep.NodeSendFailures, rep.SendFailures)
+	}
+}
+
 // TestUDPSendAfterClose pins the teardown contract: Sends racing or following
 // Close neither panic nor write to a torn-down socket, and they are not
 // counted as kernel write failures (the transport was closed, not failing).

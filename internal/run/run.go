@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/core"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/phonecall"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -148,6 +150,21 @@ type Spec struct {
 
 	// Observer, when non-nil, streams per-round statistics.
 	Observer Observer
+	// Telemetry, when non-nil, collects the run's metric series (DESIGN.md
+	// §11) into the registry: round/traffic counters, population gauges, the
+	// round-duration histogram, and — free-running only — live send-path
+	// counters and frontier gauges. A nil registry installs no observer at
+	// all, keeping the engines on their zero-allocation round loop.
+	Telemetry *telemetry.Registry
+	// TraceWriter, when non-nil, streams the execution as JSONL records: one
+	// "run" header, per-round "round" (or free-running "frontier") records,
+	// the "phase" breakdown and a final "result". Write errors surface from
+	// Execute after the run completes.
+	TraceWriter io.Writer
+
+	// tap is the composed observability fan-out Execute builds from the three
+	// fields above; runners read it, frontends never set it.
+	tap *tap
 }
 
 // Outcome is the unified result of one execution: the repository's common
@@ -169,6 +186,16 @@ type Outcome struct {
 	IgnoredEvents int
 	Wall          time.Duration
 
+	// SendFailures counts sends the OS refused (free-running UDP transport
+	// only); NodeSendFailures breaks them down per sending node and is nil
+	// when nothing failed.
+	SendFailures     int64
+	NodeSendFailures map[int]int64
+
+	// Telemetry is the registry snapshot taken when the run finished, for
+	// specs that set Spec.Telemetry; nil otherwise.
+	Telemetry []telemetry.Sample
+
 	// Engine records which substrate executed the run.
 	Engine Engine
 }
@@ -185,7 +212,22 @@ func Execute(ctx context.Context, spec Spec) (Outcome, error) {
 	if err := spec.Validate(); err != nil {
 		return Outcome{}, err
 	}
-	return spec.runner().Run(ctx, spec)
+	spec.tap = newTap(spec)
+	spec.tap.writeHeader(spec)
+	out, err := spec.runner().Run(ctx, spec)
+	if err != nil {
+		return Outcome{}, err
+	}
+	spec.tap.writeSummary(out)
+	if t := spec.tap; t != nil && t.tw != nil {
+		if werr := t.tw.Err(); werr != nil {
+			return Outcome{}, fmt.Errorf("run: trace export: %w", werr)
+		}
+	}
+	if spec.Telemetry != nil {
+		out.Telemetry = spec.Telemetry.Snapshot()
+	}
+	return out, nil
 }
 
 // multiRumor reports whether the timeline selects the steppable multi-rumor
@@ -425,9 +467,7 @@ func (s Spec) harnessOptions() harness.Options {
 		Events:      events,
 		LossRate:    s.LossRate,
 		LossSeed:    s.LossSeed,
-	}
-	if s.Observer != nil {
-		opts.Observer = &roundTap{fn: s.Observer}
+		Observer:    s.tap.engineObserver(),
 	}
 	return opts
 }
@@ -485,9 +525,11 @@ func (scenarioRunner) Run(ctx context.Context, spec Spec) (Outcome, error) {
 		Algorithm: scenario.Algorithm(spec.Algorithm),
 		Events:    events,
 	}
-	cfg := scenario.Config{Seed: spec.Seed, PayloadBits: spec.PayloadBits, Workers: spec.Workers}
-	if spec.Observer != nil {
-		cfg.Observer = &roundTap{fn: spec.Observer}
+	cfg := scenario.Config{
+		Seed:        spec.Seed,
+		PayloadBits: spec.PayloadBits,
+		Workers:     spec.Workers,
+		Observer:    spec.tap.engineObserver(),
 	}
 	res, err := scenario.Run(ctx, sc, cfg)
 	if err != nil {
@@ -562,11 +604,8 @@ func (freeRunner) Run(ctx context.Context, spec Spec) (Outcome, error) {
 		MaxSkew:     spec.MaxSkew,
 		Rounds:      spec.Rounds,
 		PayloadBits: spec.PayloadBits,
-	}
-	if obs := spec.Observer; obs != nil {
-		lo.OnFrontier = func(frontier, live int) {
-			obs(RoundStats{Round: frontier, Live: live})
-		}
+		OnFrontier:  spec.tap.onFrontier(),
+		Telemetry:   spec.Telemetry,
 	}
 	algo := scenario.Algorithm(spec.Algorithm)
 	if algo == "" {
@@ -576,13 +615,16 @@ func (freeRunner) Run(ctx context.Context, spec Spec) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
+	recordSendFailures(spec.Telemetry, rep.NodeSendFailures)
 	out := Outcome{
-		Result:        rep.Trace(string(algo), spec.Seed),
-		Drops:         rep.Drops,
-		UnfiredEvents: rep.UnfiredEvents,
-		IgnoredEvents: rep.IgnoredEvents,
-		Wall:          rep.Wall,
-		Engine:        EngineFreeRunning,
+		Result:           rep.Trace(string(algo), spec.Seed),
+		Drops:            rep.Drops,
+		UnfiredEvents:    rep.UnfiredEvents,
+		IgnoredEvents:    rep.IgnoredEvents,
+		Wall:             rep.Wall,
+		SendFailures:     rep.SendFailures,
+		NodeSendFailures: rep.NodeSendFailures,
+		Engine:           EngineFreeRunning,
 	}
 	return out, nil
 }

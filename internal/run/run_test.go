@@ -302,3 +302,22 @@ func TestScenarioOutcomeMapping(t *testing.T) {
 		t.Fatalf("informed %d want live %d", out.Informed, out.Live)
 	}
 }
+
+// TestNoTapWithoutConsumers locks the telemetry-off path: a spec that opts
+// into no observability builds no tap and installs no engine observer, so
+// un-instrumented runs stay on the engines' zero-allocation round loop
+// (phonecall's TestZeroSteadyStateAllocs covers the loop itself).
+func TestNoTapWithoutConsumers(t *testing.T) {
+	s := Spec{N: 100}
+	if tp := newTap(s); tp != nil {
+		t.Fatalf("bare spec built a tap: %+v", tp)
+	}
+	if obs := s.harnessOptions().Observer; obs != nil {
+		t.Fatalf("bare spec installed an engine observer: %T", obs)
+	}
+	s.Observer = func(RoundStats) {}
+	s.tap = newTap(s)
+	if s.tap == nil || s.harnessOptions().Observer == nil {
+		t.Fatal("observer spec did not compose a tap")
+	}
+}

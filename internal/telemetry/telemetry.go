@@ -1,0 +1,376 @@
+// Package telemetry is the repository's metrics registry: counters, gauges
+// and fixed-bucket histograms with a stable Prometheus-compatible naming
+// scheme, designed so the engines can update instruments from their hot
+// paths without allocating.
+//
+// The design mirrors the phone-call engine's metric-shard pattern: a Counter
+// is a fixed array of cache-line-padded atomic cells, writers pick a cell by
+// shard index (worker or node), and the cells are merged only when a reader
+// asks (Snapshot, WritePrometheus). Instrument lookup — the only map access
+// and the only allocation — happens once at instrument-creation time;
+// Add/AddShard/Set/Observe on the returned handles are allocation-free
+// (locked by TestHotPathZeroAlloc).
+//
+// The package depends on the standard library only.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// shardCount is the fixed number of counter cells. A power of two so
+// AddShard can mask instead of mod; 64 covers every worker count the engine
+// accepts and the padding keeps concurrent writers off each other's lines.
+const shardCount = 64
+
+// Label is one name=value metric dimension, resolved when the instrument is
+// created — never on the hot path.
+type Label struct {
+	Key, Value string
+}
+
+// cell is one padded counter shard: the atomic plus enough padding to keep
+// two adjacent cells out of one cache line.
+type cell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing sharded counter.
+type Counter struct {
+	cells [shardCount]cell
+}
+
+// Add increments the counter from a single-writer context (a coordinator
+// goroutine). Concurrent writers should use AddShard to avoid contending on
+// one cell.
+func (c *Counter) Add(v int64) { c.cells[0].v.Add(v) }
+
+// AddShard increments the counter from shard (a worker or node index; any
+// value is masked into range). Distinct shards write distinct cache lines.
+func (c *Counter) AddShard(shard int, v int64) {
+	c.cells[shard&(shardCount-1)].v.Add(v)
+}
+
+// Value merges the shards — the read-time cost the write path never pays.
+func (c *Counter) Value() int64 {
+	var sum int64
+	for i := range c.cells {
+		sum += c.cells[i].v.Load()
+	}
+	return sum
+}
+
+// Gauge is an instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Max raises the gauge to v if v is larger (a running high-water mark).
+func (g *Gauge) Max(v int64) {
+	for {
+		old := g.v.Load()
+		if v <= old || g.v.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DurationBuckets is the default histogram layout for round durations:
+// 10µs to 10s, one decade per bucket.
+var DurationBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+
+// Histogram is a fixed-bucket histogram with cumulative Prometheus
+// semantics: bucket i counts observations <= bounds[i], the implicit last
+// bucket counts everything (+Inf).
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// Observe records one observation. Allocation-free; safe for concurrent use.
+func (h *Histogram) Observe(v float64) {
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// kind discriminates the instrument types inside the registry.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered instrument.
+type metric struct {
+	name   string
+	labels []Label
+	kind   kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// id renders the metric's identity (name plus sorted label set) — the
+// registry key and the deterministic sort key for output.
+func (m *metric) id() string { return instrumentID(m.name, m.labels) }
+
+func instrumentID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Registry holds a set of named instruments. Creation (Counter, Gauge,
+// Histogram) takes a mutex and may allocate; the returned handles never
+// touch the registry again, so updating them is lock- and allocation-free.
+// A Registry must not be copied after first use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// Counter returns the counter registered under name and labels, creating it
+// on first use. Reusing a name with a different instrument kind panics —
+// that is a programming error, not an input.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	m := r.lookup(name, labels, kindCounter)
+	if m.counter == nil {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// Gauge returns the gauge registered under name and labels, creating it on
+// first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	m := r.lookup(name, labels, kindGauge)
+	if m.gauge == nil {
+		m.gauge = &Gauge{}
+	}
+	return m.gauge
+}
+
+// Histogram returns the histogram registered under name and labels, creating
+// it with the given bucket upper bounds (nil: DurationBuckets) on first use.
+// Bounds must be sorted ascending; they are fixed at creation.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	m := r.lookup(name, labels, kindHistogram)
+	if m.hist == nil {
+		if bounds == nil {
+			bounds = DurationBuckets
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("telemetry: histogram %q bounds not strictly ascending", name))
+			}
+		}
+		m.hist = &Histogram{
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Int64, len(bounds)+1),
+		}
+	}
+	return m.hist
+}
+
+// lookup finds or creates the metric entry, enforcing name validity and kind
+// consistency.
+func (r *Registry) lookup(name string, labels []Label, k kind) *metric {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("telemetry: invalid label key %q on %q", l.Key, name))
+		}
+	}
+	id := instrumentID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[id]; ok {
+		if m.kind != k {
+			panic(fmt.Sprintf("telemetry: %q already registered as a %s", name, m.kind))
+		}
+		return m
+	}
+	// One family, one kind: the same name with other labels must agree too,
+	// or the exposition format would emit contradictory TYPE lines.
+	for _, m := range r.metrics {
+		if m.name == name && m.kind != k {
+			panic(fmt.Sprintf("telemetry: %q already registered as a %s", name, m.kind))
+		}
+	}
+	m := &metric{name: name, labels: append([]Label(nil), labels...), kind: k}
+	r.metrics[id] = m
+	return m
+}
+
+// validName checks the Prometheus metric/label name charset.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Sample is one exported time-series value. Histograms expand into their
+// cumulative _bucket series (with an "le" label) plus _sum and _count.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// ID renders the sample's identity as name{label="value",...} — the same
+// string the Prometheus exposition line starts with.
+func (s Sample) ID() string { return instrumentID(s.Name, s.Labels) }
+
+// sorted returns the registry's metrics in deterministic (id) order.
+func (r *Registry) sorted() []*metric {
+	r.mu.Lock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(ms, func(a, b int) bool {
+		if ms[a].name != ms[b].name {
+			return ms[a].name < ms[b].name
+		}
+		return ms[a].id() < ms[b].id()
+	})
+	return ms
+}
+
+// Snapshot merges every instrument's shards and returns the samples in
+// deterministic order. The snapshot is a point-in-time copy; taking it does
+// not disturb writers.
+func (r *Registry) Snapshot() []Sample {
+	var out []Sample
+	for _, m := range r.sorted() {
+		out = append(out, m.samples()...)
+	}
+	return out
+}
+
+// samples expands one metric into its exported series.
+func (m *metric) samples() []Sample {
+	switch m.kind {
+	case kindCounter:
+		return []Sample{{Name: m.name, Labels: m.labels, Value: float64(m.counter.Value())}}
+	case kindGauge:
+		return []Sample{{Name: m.name, Labels: m.labels, Value: float64(m.gauge.Value())}}
+	default:
+		h := m.hist
+		out := make([]Sample, 0, len(h.bounds)+3)
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.buckets[i].Load()
+			out = append(out, Sample{
+				Name:   m.name + "_bucket",
+				Labels: append(append([]Label(nil), m.labels...), Label{Key: "le", Value: formatBound(b)}),
+				Value:  float64(cum),
+			})
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		out = append(out, Sample{
+			Name:   m.name + "_bucket",
+			Labels: append(append([]Label(nil), m.labels...), Label{Key: "le", Value: "+Inf"}),
+			Value:  float64(cum),
+		})
+		out = append(out,
+			Sample{Name: m.name + "_sum", Labels: m.labels, Value: h.Sum()},
+			Sample{Name: m.name + "_count", Labels: m.labels, Value: float64(h.Count())},
+		)
+		return out
+	}
+}

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterShardMerge exercises the shard-merge contract: writes from any
+// shard index land in the same logical counter, mask into the fixed cell
+// range, and merge at read time.
+func TestCounterShardMerge(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.AddShard(0, 1)
+	c.AddShard(1, 2)
+	c.AddShard(shardCount, 4) // masks back onto cell 0
+	c.AddShard(12345678, 5)   // arbitrary node index
+	if got := c.Value(); got != 15 {
+		t.Fatalf("Value() = %d, want 15", got)
+	}
+}
+
+// TestCounterConcurrentShards hammers distinct shards concurrently; the
+// merged value must be exact (atomic cells, no lost updates).
+func TestCounterConcurrentShards(t *testing.T) {
+	var c Counter
+	const writers, perWriter = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.AddShard(w, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("Value() = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestGaugeSetAddMax(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Value() = %d, want 7", got)
+	}
+	g.Max(5) // below: no-op
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Max(5) lowered the gauge to %d", got)
+	}
+	g.Max(42)
+	if got := g.Value(); got != 42 {
+		t.Fatalf("Max(42) gave %d", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("repro_test_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count() = %d, want 4", h.Count())
+	}
+	if math.Abs(h.Sum()-5.555) > 1e-9 {
+		t.Fatalf("Sum() = %v, want 5.555", h.Sum())
+	}
+	// Cumulative bucket counts: <=0.01: 1, <=0.1: 2, <=1: 3, +Inf: 4.
+	samples := r.Snapshot()
+	want := map[string]float64{
+		`repro_test_seconds_bucket{le="0.01"}`: 1,
+		`repro_test_seconds_bucket{le="0.1"}`:  2,
+		`repro_test_seconds_bucket{le="1"}`:    3,
+		`repro_test_seconds_bucket{le="+Inf"}`: 4,
+		`repro_test_seconds_sum`:               5.555,
+		`repro_test_seconds_count`:             4,
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		got[s.ID()] = s.Value
+	}
+	for id, v := range want {
+		if math.Abs(got[id]-v) > 1e-9 {
+			t.Errorf("sample %s = %v, want %v", id, got[id], v)
+		}
+	}
+}
+
+// TestRegistryIdempotentCreation pins that re-creating an instrument returns
+// the same handle (so multiple runs can share one registry) and that kind
+// conflicts panic.
+func TestRegistryIdempotentCreation(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("repro_x_total", Label{Key: "algo", Value: "cluster2"})
+	b := r.Counter("repro_x_total", Label{Key: "algo", Value: "cluster2"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	other := r.Counter("repro_x_total", Label{Key: "algo", Value: "push"})
+	if a == other {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("registering repro_x_total as a gauge did not panic")
+			}
+		}()
+		r.Gauge("repro_x_total")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid metric name did not panic")
+			}
+		}()
+		r.Counter("0bad name")
+	}()
+}
+
+// TestWritePrometheus pins the exposition format: TYPE lines once per
+// family, deterministic order, label escaping, integer-clean values.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("repro_messages_total", Label{Key: "algo", Value: "cluster2"}, Label{Key: "engine", Value: "simulator"}).Add(12)
+	r.Counter("repro_messages_total", Label{Key: "algo", Value: "push"}, Label{Key: "engine", Value: "simulator"}).Add(3)
+	r.Gauge("repro_informed_nodes").Set(990)
+	r.Counter("repro_weird_total", Label{Key: "path", Value: `a"b\c`}).Add(1)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# TYPE repro_informed_nodes gauge
+repro_informed_nodes 990
+# TYPE repro_messages_total counter
+repro_messages_total{algo="cluster2",engine="simulator"} 12
+repro_messages_total{algo="push",engine="simulator"} 3
+# TYPE repro_weird_total counter
+repro_weird_total{path="a\"b\\c"} 1
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHotPathZeroAlloc locks the zero-allocation contract of every hot-path
+// operation: instrument updates must be free to sprinkle through the
+// engines' round loops.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("repro_alloc_total")
+	g := r.Gauge("repro_alloc_nodes")
+	h := r.Histogram("repro_alloc_seconds", nil)
+	cases := map[string]func(){
+		"Counter.Add":       func() { c.Add(1) },
+		"Counter.AddShard":  func() { c.AddShard(7, 1) },
+		"Gauge.Set":         func() { g.Set(5) },
+		"Gauge.Max":         func() { g.Max(9) },
+		"Histogram.Observe": func() { h.Observe(0.0123) },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f per op, want 0", name, allocs)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestTelemetryBitIdentical is the observability purity lock: runs with and
+// without WithTelemetry (and a trace writer on top) must produce
+// byte-for-byte identical results, at every worker count, on both the closed
+// broadcast path and the multi-rumor scenario driver. Telemetry observes the
+// engines through the same RoundObserver seam as WithObserver — it can never
+// steer an execution.
+func TestTelemetryBitIdentical(t *testing.T) {
+	workloads := map[string][]Option{
+		"closed cluster2": {WithAlgorithm(AlgoCluster2), WithSeed(7)},
+		"scenario push-pull": {
+			WithAlgorithm(AlgoPushPull), WithSeed(8), WithRounds(60),
+			WithRumors(InjectRumor{At: 1, Node: 0, Rumor: 0},
+				InjectRumor{At: 5, Node: 99, Rumor: 3}),
+			WithTimeline(CrashAt{At: 10, Nodes: []int{1, 2, 3}}),
+		},
+	}
+	for name, base := range workloads {
+		for _, workers := range []int{1, 2, 8} {
+			opts := append(append([]Option(nil), base...), WithWorkers(workers))
+			plain, err := Run(context.Background(), 600, opts...)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			instr, err := Run(context.Background(), 600,
+				append(opts, WithTelemetry(NewMetricsRegistry()), WithTraceWriter(io.Discard))...)
+			if err != nil {
+				t.Fatalf("%s workers=%d instrumented: %v", name, workers, err)
+			}
+			if !reflect.DeepEqual(plain.Result, instr.Result) {
+				t.Errorf("%s workers=%d: telemetry changed the result\nplain: %+v\ninstr: %+v",
+					name, workers, plain.Result, instr.Result)
+			}
+			if !reflect.DeepEqual(plain.Rumors, instr.Rumors) {
+				t.Errorf("%s workers=%d: telemetry changed the rumor outcomes", name, workers)
+			}
+		}
+	}
+}
+
+// sampleValues flattens a snapshot into id -> value, with labels rendered
+// in the exposition shape for lookups.
+func sampleValues(samples []MetricSample) map[string]float64 {
+	out := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		id := s.Name
+		if len(s.Labels) > 0 {
+			var sb strings.Builder
+			sb.WriteString(s.Name)
+			sb.WriteString("{")
+			// Deterministic because MetricSample labels come from the sorted
+			// internal sample; re-render in that order.
+			first := true
+			for _, k := range []string{"algo", "engine", "le", "node"} {
+				if v, ok := s.Labels[k]; ok {
+					if !first {
+						sb.WriteString(",")
+					}
+					first = false
+					sb.WriteString(k + `="` + v + `"`)
+				}
+			}
+			sb.WriteString("}")
+			id = sb.String()
+		}
+		out[id] = s.Value
+	}
+	return out
+}
+
+// TestTelemetrySnapshotValues checks the collected series against the run's
+// own report: rounds and traffic must agree exactly, and the rumor-tracking
+// gauge only exists on runs that track rumors.
+func TestTelemetrySnapshotValues(t *testing.T) {
+	reg := NewMetricsRegistry()
+	rep, err := Run(context.Background(), 2000,
+		WithAlgorithm(AlgoCluster2), WithSeed(7), WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sampleValues(rep.Snapshot())
+	if v := got[`repro_rounds_total{algo="cluster2",engine="simulator"}`]; v != float64(rep.Rounds) {
+		t.Errorf("repro_rounds_total = %v, want %d", v, rep.Rounds)
+	}
+	wantMsgs := float64(rep.Messages + rep.ControlMessages)
+	if v := got[`repro_messages_total{algo="cluster2",engine="simulator"}`]; v != wantMsgs {
+		t.Errorf("repro_messages_total = %v, want %v", v, wantMsgs)
+	}
+	if v := got[`repro_bits_total{algo="cluster2",engine="simulator"}`]; v != float64(rep.Bits) {
+		t.Errorf("repro_bits_total = %v, want %d", v, rep.Bits)
+	}
+	if v := got[`repro_live_nodes`]; v != float64(rep.Live) {
+		t.Errorf("repro_live_nodes = %v, want %d", v, rep.Live)
+	}
+	if v := got[`repro_round_duration_seconds_count`]; v != float64(rep.Rounds) {
+		t.Errorf("duration histogram count = %v, want %d", v, rep.Rounds)
+	}
+	if _, ok := got[`repro_informed_nodes`]; ok {
+		t.Error("closed algorithm exported repro_informed_nodes (tracks no rumor)")
+	}
+
+	// The scenario driver binds its rumor tracker, turning the gauge on.
+	reg2 := NewMetricsRegistry()
+	rep2, err := Run(context.Background(), 500,
+		WithAlgorithm(AlgoPushPull), WithSeed(3), WithRounds(60),
+		WithRumors(InjectRumor{At: 1, Node: 0, Rumor: 0}), WithTelemetry(reg2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := sampleValues(rep2.Snapshot())
+	if v, ok := got2[`repro_informed_nodes`]; !ok || v != float64(rep2.Informed) {
+		t.Errorf("repro_informed_nodes = %v (present=%v), want %d", v, ok, rep2.Informed)
+	}
+}
+
+// TestTraceRoundTrip locks the JSONL schema: header first, result last, one
+// round record per executed round, and the per-round traffic summing exactly
+// to the report's totals — the invariant that makes E-table aggregation from
+// traces trustworthy (EXPERIMENTS.md).
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := Run(context.Background(), 1500,
+		WithAlgorithm(AlgoCluster2), WithSeed(9), WithTraceWriter(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []TraceRecord
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var r TraceRecord
+		if err := dec.Decode(&r); err != nil {
+			t.Fatalf("undecodable trace line: %v", err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) < 3 {
+		t.Fatalf("trace has only %d records", len(recs))
+	}
+	head, tail := recs[0], recs[len(recs)-1]
+	if head.Type != "run" || head.Engine != "simulator" || head.Algorithm != "cluster2" || head.N != 1500 {
+		t.Fatalf("bad run header: %+v", head)
+	}
+	if tail.Type != "result" || tail.Rounds != rep.Rounds || tail.Messages != rep.Messages ||
+		tail.ControlMessages != rep.ControlMessages || !tail.AllInformed {
+		t.Fatalf("result record %+v disagrees with report %+v", tail, rep.Result)
+	}
+	var rounds int
+	var msgs, bits int64
+	phases := 0
+	for _, r := range recs[1 : len(recs)-1] {
+		switch r.Type {
+		case "round":
+			rounds++
+			if r.Round != rounds {
+				t.Fatalf("round records out of order: got %d at position %d", r.Round, rounds)
+			}
+			msgs += r.Messages
+			bits += r.Bits
+			if r.Informed != -1 {
+				t.Errorf("closed algorithm round %d reports informed=%d, want -1", r.Round, r.Informed)
+			}
+		case "phase":
+			phases++
+		default:
+			t.Fatalf("unexpected mid-trace record %+v", r)
+		}
+	}
+	if rounds != rep.Rounds {
+		t.Errorf("%d round records for %d executed rounds", rounds, rep.Rounds)
+	}
+	if want := rep.Messages + rep.ControlMessages; msgs != want {
+		t.Errorf("per-round messages sum to %d, want %d", msgs, want)
+	}
+	if bits != rep.Bits {
+		t.Errorf("per-round bits sum to %d, want %d", bits, rep.Bits)
+	}
+	if phases != len(rep.Phases) {
+		t.Errorf("%d phase records for %d phases", phases, len(rep.Phases))
+	}
+}
+
+// TestTraceWriterErrorSurfaces pins the error contract: a failing writer
+// does not abort the run but surfaces from it.
+func TestTraceWriterErrorSurfaces(t *testing.T) {
+	_, err := Run(context.Background(), 300,
+		WithAlgorithm(AlgoCluster2), WithSeed(1), WithTraceWriter(failingWriter{}))
+	if err == nil || !strings.Contains(err.Error(), "trace export") {
+		t.Fatalf("trace write failure did not surface: %v", err)
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
+
+// TestMetricsHandlerMidRunScrape serves a registry over HTTP and scrapes it
+// from inside a run (via the observer, a few rounds in): the exposition must
+// parse and already carry moving series — the live-scrape property the
+// -metrics-addr endpoint relies on.
+func TestMetricsHandlerMidRunScrape(t *testing.T) {
+	reg := NewMetricsRegistry()
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	var midRun string
+	scraped := false
+	_, err := Run(context.Background(), 2000,
+		WithAlgorithm(AlgoCluster2), WithSeed(7), WithTelemetry(reg),
+		WithObserver(func(ri RoundInfo) {
+			if scraped || ri.Round < 5 {
+				return
+			}
+			scraped = true
+			resp, err := http.Get(srv.URL)
+			if err != nil {
+				t.Errorf("mid-run scrape: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+				t.Errorf("content type %q", ct)
+			}
+			b, _ := io.ReadAll(resp.Body)
+			midRun = string(b)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scraped {
+		t.Fatal("observer never scraped")
+	}
+	for _, want := range []string{
+		`# TYPE repro_messages_total counter`,
+		`repro_messages_total{algo="cluster2",engine="simulator"} `,
+		`repro_rounds_total{algo="cluster2",engine="simulator"} `,
+	} {
+		if !strings.Contains(midRun, want) {
+			t.Errorf("mid-run exposition missing %q:\n%s", want, midRun)
+		}
+	}
+	// Every exposition line must be a comment or `name{labels} value`.
+	for _, line := range strings.Split(strings.TrimSuffix(midRun, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("unparseable exposition line %q", line)
+		}
+	}
+}
