@@ -67,8 +67,9 @@ type FreeRunConfig struct {
 // FrontierInfo is the monitor's view of one frontier advance.
 type FrontierInfo struct {
 	// Frontier is the new round frontier (the minimum local round among live
-	// nodes); MaxRound is the furthest local clock, so MaxRound-Frontier is
-	// the current skew.
+	// nodes); MaxRound is the furthest local clock among live nodes — dead
+	// nodes' frozen clocks are excluded, like the frontier itself — so
+	// MaxRound-Frontier is the current skew.
 	Frontier int
 	MaxRound int
 	// Live counts live nodes; Informed counts live nodes holding every
@@ -396,11 +397,11 @@ func (fr *FreeRun) tick() {
 	liveCount, informed, allDone := 0, 0, true
 	maxRound := int64(0)
 	for i := 0; i < fr.cfg.N; i++ {
-		if r := fr.roundOf[i].Load(); r > maxRound {
-			maxRound = r
-		}
 		if !fr.liveFlag[i].Load() {
 			continue
+		}
+		if r := fr.roundOf[i].Load(); r > maxRound {
+			maxRound = r
 		}
 		liveCount++
 		if fr.held[i].Load()&reg == reg {

@@ -161,9 +161,13 @@ type metric struct {
 	hist    *Histogram
 }
 
-// id renders the metric's identity (name plus sorted label set) — the
-// registry key and the deterministic sort key for output.
+// id renders the metric's identity — the registry key and the deterministic
+// sort key for output. Labels are canonicalized (sorted by key) by lookup
+// before the metric is built, so permuted label orders share one id.
 func (m *metric) id() string { return instrumentID(m.name, m.labels) }
+
+// instrumentID renders name{key="value",...} with the labels in the order
+// given; callers that need a canonical id sort the labels first.
 
 func instrumentID(name string, labels []Label) string {
 	if len(labels) == 0 {
@@ -212,48 +216,34 @@ func NewRegistry() *Registry {
 // on first use. Reusing a name with a different instrument kind panics —
 // that is a programming error, not an input.
 func (r *Registry) Counter(name string, labels ...Label) *Counter {
-	m := r.lookup(name, labels, kindCounter)
-	if m.counter == nil {
-		m.counter = &Counter{}
-	}
-	return m.counter
+	return r.lookup(name, labels, kindCounter, nil).counter
 }
 
 // Gauge returns the gauge registered under name and labels, creating it on
 // first use.
 func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
-	m := r.lookup(name, labels, kindGauge)
-	if m.gauge == nil {
-		m.gauge = &Gauge{}
-	}
-	return m.gauge
+	return r.lookup(name, labels, kindGauge, nil).gauge
 }
 
 // Histogram returns the histogram registered under name and labels, creating
 // it with the given bucket upper bounds (nil: DurationBuckets) on first use.
-// Bounds must be sorted ascending; they are fixed at creation.
+// Bounds must be sorted ascending; they are fixed by the first creation, and
+// asking for the same series again with different bounds panics — a shared
+// handle with someone else's bucket layout is a programming error.
 func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
-	m := r.lookup(name, labels, kindHistogram)
-	if m.hist == nil {
-		if bounds == nil {
-			bounds = DurationBuckets
-		}
-		for i := 1; i < len(bounds); i++ {
-			if bounds[i] <= bounds[i-1] {
-				panic(fmt.Sprintf("telemetry: histogram %q bounds not strictly ascending", name))
-			}
-		}
-		m.hist = &Histogram{
-			bounds:  append([]float64(nil), bounds...),
-			buckets: make([]atomic.Int64, len(bounds)+1),
-		}
+	if bounds == nil {
+		bounds = DurationBuckets
 	}
-	return m.hist
+	return r.lookup(name, labels, kindHistogram, bounds).hist
 }
 
-// lookup finds or creates the metric entry, enforcing name validity and kind
-// consistency.
-func (r *Registry) lookup(name string, labels []Label, k kind) *metric {
+// lookup finds or creates the metric entry, enforcing name validity, kind
+// consistency and (for histograms) bound consistency. The typed instrument
+// is allocated here, while r.mu is held, so a metric visible in the map is
+// always fully populated — readers (Snapshot, WritePrometheus) that race an
+// instrument's first creation never see a nil handle, and two concurrent
+// creators of one series always get the same handle.
+func (r *Registry) lookup(name string, labels []Label, k kind, bounds []float64) *metric {
 	if !validName(name) {
 		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
 	}
@@ -262,12 +252,19 @@ func (r *Registry) lookup(name string, labels []Label, k kind) *metric {
 			panic(fmt.Sprintf("telemetry: invalid label key %q on %q", l.Key, name))
 		}
 	}
+	// Canonicalize the label order so permutations of the same label set
+	// resolve to one series.
+	labels = append([]Label(nil), labels...)
+	sort.SliceStable(labels, func(a, b int) bool { return labels[a].Key < labels[b].Key })
 	id := instrumentID(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if m, ok := r.metrics[id]; ok {
 		if m.kind != k {
 			panic(fmt.Sprintf("telemetry: %q already registered as a %s", name, m.kind))
+		}
+		if k == kindHistogram && !equalBounds(m.hist.bounds, bounds) {
+			panic(fmt.Sprintf("telemetry: histogram %q already registered with different bounds", name))
 		}
 		return m
 	}
@@ -278,9 +275,38 @@ func (r *Registry) lookup(name string, labels []Label, k kind) *metric {
 			panic(fmt.Sprintf("telemetry: %q already registered as a %s", name, m.kind))
 		}
 	}
-	m := &metric{name: name, labels: append([]Label(nil), labels...), kind: k}
+	m := &metric{name: name, labels: labels, kind: k}
+	switch k {
+	case kindCounter:
+		m.counter = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	default:
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("telemetry: histogram %q bounds not strictly ascending", name))
+			}
+		}
+		m.hist = &Histogram{
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Int64, len(bounds)+1),
+		}
+	}
 	r.metrics[id] = m
 	return m
+}
+
+// equalBounds reports whether two bucket layouts are identical.
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // validName checks the Prometheus metric/label name charset.

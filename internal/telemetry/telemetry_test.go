@@ -125,6 +125,86 @@ func TestRegistryIdempotentCreation(t *testing.T) {
 	}()
 }
 
+// TestRegistryLabelOrderCanonical pins that label order does not matter:
+// permuted label sets resolve to one series, not duplicate permuted output.
+func TestRegistryLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("repro_perm_total", Label{Key: "algo", Value: "push"}, Label{Key: "engine", Value: "sim"})
+	b := r.Counter("repro_perm_total", Label{Key: "engine", Value: "sim"}, Label{Key: "algo", Value: "push"})
+	if a != b {
+		t.Fatal("permuted label order returned distinct counters")
+	}
+	a.Add(2)
+	if n := len(r.Snapshot()); n != 1 {
+		t.Fatalf("Snapshot has %d series, want 1: %v", n, r.Snapshot())
+	}
+}
+
+// TestRegistryHistogramBoundsConflict pins that re-registering a histogram
+// with a different bucket layout panics instead of silently handing the
+// second caller someone else's buckets.
+func TestRegistryHistogramBoundsConflict(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("repro_conflict_seconds", []float64{1, 2, 3})
+	if h := r.Histogram("repro_conflict_seconds", []float64{1, 2, 3}); h == nil {
+		t.Fatal("identical bounds should return the existing histogram")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("different bounds for an existing histogram did not panic")
+		}
+	}()
+	r.Histogram("repro_conflict_seconds", []float64{1, 2})
+}
+
+// TestRegistryConcurrentCreateAndScrape races instrument creation against
+// Snapshot/WritePrometheus scrapes — the livegossip /metrics pattern, where
+// a scrape can overlap a run binding its instruments. Under -race this pins
+// that a metric visible to readers always has its instrument populated and
+// that concurrent creators of one series share a single handle (no lost
+// updates).
+func TestRegistryConcurrentCreateAndScrape(t *testing.T) {
+	r := NewRegistry()
+	const creators, perCreator = 8, 200
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() {
+		defer close(scraperDone)
+		var sb strings.Builder
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Snapshot()
+			sb.Reset()
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < creators; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perCreator; i++ {
+				r.Counter("repro_race_total", Label{Key: "algo", Value: "push"}).AddShard(w, 1)
+				r.Gauge("repro_race_nodes").Set(int64(i))
+				r.Histogram("repro_race_seconds", nil).Observe(0.01)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-scraperDone
+	if got := r.Counter("repro_race_total", Label{Key: "algo", Value: "push"}).Value(); got != creators*perCreator {
+		t.Fatalf("repro_race_total = %d, want %d (a concurrent creator lost a handle)", got, creators*perCreator)
+	}
+}
+
 // TestWritePrometheus pins the exposition format: TYPE lines once per
 // family, deterministic order, label escaping, integer-clean values.
 func TestWritePrometheus(t *testing.T) {
