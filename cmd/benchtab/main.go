@@ -48,8 +48,12 @@ func run(args []string) error {
 	emitJSON := fs.Bool("json", false, "benchmark the round engine instead of running experiments and write the results as JSON")
 	benchN := fs.Int("benchn", 100000, "network size for -json engine benchmarks")
 	out := fs.String("out", "BENCH_engine.json", "output path for -json (\"-\" for stdout only)")
+	trajectoryRow := fs.String("trajectory-row", "", "read a BENCH_engine.json file and print its dated BENCH_TRAJECTORY.md table row")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *trajectoryRow != "" {
+		return printTrajectoryRow(*trajectoryRow)
 	}
 
 	// The two modes take disjoint flag sets; reject mixed invocations
@@ -95,6 +99,42 @@ func run(args []string) error {
 		}
 		fmt.Println(table.Render())
 	}
+	return nil
+}
+
+// printTrajectoryRow reads a -json output file and prints the markdown row
+// BENCH_TRAJECTORY.md tracks: date, commit, then ns/op per benchmark in the
+// trajectory's column order. The commit comes from GITHUB_SHA when CI sets
+// it, "worktree" otherwise.
+func printTrajectoryRow(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Results []engineBenchResult `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	byName := map[string]float64{}
+	for _, r := range doc.Results {
+		byName[r.Name] = r.NsPerOp
+	}
+	commit := "worktree"
+	if sha := os.Getenv("GITHUB_SHA"); len(sha) >= 7 {
+		commit = sha[:7]
+	}
+	cell := func(name string) string {
+		ns, ok := byName[name]
+		if !ok {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.0f", ns)
+	}
+	fmt.Printf("| %s | %s | %s | %s | %s | ci run |\n",
+		time.Now().UTC().Format("2006-01-02"), commit,
+		cell("EngineRound"), cell("BroadcastCluster2"), cell("ScenarioChurn"))
 	return nil
 }
 

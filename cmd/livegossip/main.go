@@ -14,7 +14,10 @@
 //	             steppable gossip protocols under transport-level frame loss,
 //	             latency and jitter, convergence detected by the completion
 //	             monitor. Churn, loss and rumor injection come from a JSON
-//	             scenario spec (-spec).
+//	             scenario spec (-spec), or -rumors switches the run into soak
+//	             mode: gossip as a service, continuously injecting rumors at
+//	             -rate per frontier round through a bounded -inflight window
+//	             with backpressure and converged-rumor GC.
 //
 // Example:
 //
@@ -22,6 +25,7 @@
 //	livegossip -mode free -n 1000 -drop 0.05 -rounds 150
 //	livegossip -mode free -spec examples/churn/spec.json
 //	livegossip -mode free -n 200 -transport udp
+//	livegossip -mode free -n 64 -rumors 4096 -rate 64 -inflight 1024 -drop 0.02
 package main
 
 import (
@@ -59,6 +63,9 @@ func run(args []string) error {
 	latency := fs.Duration("latency", 0, "per-frame delivery latency (free mode, chan transport)")
 	jitter := fs.Duration("jitter", 0, "additional per-frame jitter bound (free mode, chan transport)")
 	spec := fs.String("spec", "", "JSON scenario spec: n, rounds, algorithm and the churn/loss/rumor timeline (free mode)")
+	rumors := fs.Int("rumors", 0, "soak mode: continuously inject this many rumors through the free-running runtime (free mode)")
+	rate := fs.Float64("rate", 0, "soak injection rate in rumors per frontier round (0 = 1, needs -rumors)")
+	inflight := fs.Int("inflight", 0, "soak in-flight window: max concurrently active rumors before injection stalls (0 = min(rumors, 1024))")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while the run executes (e.g. 127.0.0.1:9797)")
 	metricsLinger := fs.Duration("metrics-linger", 0, "keep the -metrics-addr endpoint up this long after the run finishes, so scrapers catch the final state")
 	if err := fs.Parse(args); err != nil {
@@ -92,6 +99,7 @@ func run(args []string) error {
 			transport: repro.Transport(*transport),
 			rounds:    *rounds, skew: *skew,
 			drop: *drop, dropSeed: *dropSeed, latency: *latency, jitter: *jitter,
+			rumors: *rumors, rate: *rate, inflight: *inflight,
 			metrics: ms,
 		})
 	default:
@@ -193,6 +201,9 @@ type freeArgs struct {
 	dropSeed  uint64
 	latency   time.Duration
 	jitter    time.Duration
+	rumors    int
+	rate      float64
+	inflight  int
 	metrics   *metricsServer
 }
 
@@ -223,6 +234,11 @@ func runFree(a freeArgs) error {
 	if a.algo != "" {
 		opts = append(opts, repro.WithAlgorithm(repro.Algorithm(a.algo)))
 	}
+	if a.rumors > 0 {
+		opts = append(opts, repro.WithRumorStream(a.rate, a.rumors, a.inflight))
+	} else if a.set["rate"] || a.set["inflight"] {
+		return fmt.Errorf("-rate and -inflight shape the -rumors soak stream")
+	}
 
 	rep, err := repro.Run(context.Background(), n, opts...)
 	if err != nil {
@@ -241,6 +257,11 @@ func runFree(a freeArgs) error {
 	fmt.Printf("messages           %d payload + %d control (%.2f per node)\n", rep.Messages, rep.ControlMessages, rep.MessagesPerNode)
 	fmt.Printf("bits               %d\n", rep.Bits)
 	fmt.Printf("max comms/round Δ  %d\n", rep.MaxCommsPerRound)
+	if a.rumors > 0 {
+		fmt.Printf("rumor stream       %d injected, %d converged, %d expired by GC, %d still active\n",
+			rep.RumorsInjected, rep.RumorsConverged, rep.RumorsExpired, rep.RumorsActive)
+		fmt.Printf("backpressure       injection stalled on a full window for %d monitor tick(s)\n", rep.InjectionStalls)
+	}
 	fmt.Printf("frame drops        %d\n", rep.Drops)
 	if rep.SendFailures > 0 {
 		fmt.Printf("send failures      %d (kernel refused writes on %d node socket(s))\n",

@@ -61,10 +61,12 @@ func (e LossAt) event() (scenario.Event, error) {
 	return scenario.Loss{At: e.At, Rate: e.Rate, Seed: e.Seed}, nil
 }
 
-// InjectRumor hands rumor Rumor (an ID in [0, 64)) to node Node at the start
-// of round At. Injecting at least one rumor switches the execution to the
-// steppable multi-rumor driver (push, pull, push-pull), which needs an
-// explicit round budget (WithRounds).
+// InjectRumor hands rumor Rumor to node Node at the start of round At.
+// Injecting at least one rumor switches the execution to the steppable
+// multi-rumor driver (push, pull, push-pull), which needs an explicit round
+// budget (WithRounds). Rumor is an ID in the uint32 space: IDs below 64 run
+// on the compact bitmask path, and any larger ID (or WithMaxInFlight) selects
+// the scalable wide rumor-set path on the simulator.
 type InjectRumor struct {
 	At    int
 	Node  int
@@ -72,8 +74,8 @@ type InjectRumor struct {
 }
 
 func (e InjectRumor) event() (scenario.Event, error) {
-	if e.Rumor < 0 || e.Rumor >= phonecall.MaxRumors {
-		return nil, fmt.Errorf("%w: rumor id %d outside [0,%d)", ErrInvalidConfig, e.Rumor, phonecall.MaxRumors)
+	if e.Rumor < 0 || int64(e.Rumor) > int64(^uint32(0)) {
+		return nil, fmt.Errorf("%w: rumor id %d outside the uint32 ID space", ErrInvalidConfig, e.Rumor)
 	}
 	return scenario.InjectRumor{At: e.At, Node: e.Node, Rumor: phonecall.RumorID(e.Rumor)}, nil
 }

@@ -205,6 +205,34 @@ func WithRounds(rounds int) Option {
 	return Option{func(s *settings) { s.spec.Rounds = rounds }}
 }
 
+// WithRumorStream puts a free-running run (OnFreeRunning) in continuous
+// rumor-stream mode: instead of a timeline seeding rumors, the runtime's
+// monitor injects total rumors — rate per frontier round (<= 0: 1), each at
+// a live node — through a bounded window of at most maxInFlight concurrently
+// active rumors (<= 0: min(total, 1024)). Injection stalls while the window
+// is full (Report.InjectionStalls counts the backpressure) and converged
+// rumors are garbage-collected to recycle window slots, so total may vastly
+// exceed the window. A stream replaces InjectRumor events and uses the
+// steppable protocols; the run ends when every rumor converged (or the
+// round budget runs out).
+func WithRumorStream(rate float64, total, maxInFlight int) Option {
+	return Option{func(s *settings) {
+		s.spec.StreamRate = rate
+		s.spec.StreamTotal = total
+		s.spec.MaxInFlight = maxInFlight
+	}}
+}
+
+// WithMaxInFlight bounds the concurrently active rumors of the scalable
+// rumor-set layer: on the simulator it forces a rumor-injecting timeline
+// onto the wide rumor-set path with the given window (IDs >= 64 select wide
+// on their own, sizing the window to the distinct rumor count); on the
+// free-running engine it is the stream window, as set by WithRumorStream's
+// third argument.
+func WithMaxInFlight(window int) Option {
+	return Option{func(s *settings) { s.spec.MaxInFlight = window }}
+}
+
 // WithScenarioSpec configures the run from a JSON scenario spec (the format
 // of cmd/scenario and internal/scenario): network size, round budget,
 // algorithm, seed, payload size, workers, and the full event timeline
@@ -250,6 +278,7 @@ func (s *settings) applySpec(sp scenario.Spec) {
 	s.spec.Algorithm = string(sc.Algorithm)
 	s.spec.ScenarioName = sc.Name
 	s.spec.Events = append(s.spec.Events, sc.Events...)
+	s.spec.MaxInFlight = sc.MaxInFlight
 	s.spec.Seed = cfg.Seed
 	s.spec.PayloadBits = cfg.PayloadBits
 	s.spec.Workers = cfg.Workers
@@ -424,6 +453,21 @@ type Report struct {
 	SendFailures     int64
 	NodeSendFailures map[int]int64
 
+	// Rumor-set extras (wide simulator runs and free-running streams).
+	// LostInjects counts injections at failed nodes whose rumor never reached
+	// a live node; RumorsExpired counts converged rumors the GC retired to
+	// recycle window slots. The remaining fields are stream-only
+	// (WithRumorStream): lifetime injection/convergence totals, the rumors
+	// still active when the run stopped (0 when the stream drained), and how
+	// many monitor ticks injection spent stalled on a full window — the
+	// backpressure signal.
+	LostInjects     int64
+	RumorsInjected  int64
+	RumorsConverged int64
+	RumorsExpired   int64
+	RumorsActive    int
+	InjectionStalls int64
+
 	snapshot []MetricSample
 }
 
@@ -457,6 +501,12 @@ func fromOutcome(out run.Outcome) Report {
 		Wall:             out.Wall,
 		SendFailures:     out.SendFailures,
 		NodeSendFailures: out.NodeSendFailures,
+		LostInjects:      out.LostInjects,
+		RumorsInjected:   out.RumorsInjected,
+		RumorsConverged:  out.RumorsConverged,
+		RumorsExpired:    out.RumorsExpired,
+		RumorsActive:     out.RumorsActive,
+		InjectionStalls:  out.InjectionStalls,
 		snapshot:         publicSamples(out.Telemetry),
 	}
 	for _, p := range out.Result.Phases {

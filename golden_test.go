@@ -92,10 +92,20 @@ func TestRunOptionValidation(t *testing.T) {
 		{"delta below minimum", 100, []Option{WithDelta(2)}},
 		{"unknown algorithm", 100, []Option{WithAlgorithm("bogus")}},
 		{"rumors without budget", 100, []Option{WithRumors(InjectRumor{At: 1, Node: 0, Rumor: 0})}},
-		{"rumor id out of range", 100, []Option{
-			WithRounds(5), WithRumors(InjectRumor{At: 1, Node: 0, Rumor: 64})}},
+		{"rumor id past uint32 space", 100, []Option{
+			WithRounds(5), WithRumors(InjectRumor{At: 1, Node: 0, Rumor: 1 << 32})}},
 		{"negative rumor id", 100, []Option{
 			WithRounds(5), WithRumors(InjectRumor{At: 1, Node: 0, Rumor: -1})}},
+		{"rumor id past bitmask on lock-step", 100, []Option{
+			OnLockStep(TransportChannel), WithRounds(5),
+			WithRumors(InjectRumor{At: 1, Node: 0, Rumor: 64})}},
+		{"stream on simulator", 100, []Option{WithRumorStream(1, 16, 8)}},
+		{"stream rate without total", 100, []Option{
+			OnFreeRunning(0, 0), WithRumorStream(2, 0, 0)}},
+		{"window without wide workload", 100, []Option{WithMaxInFlight(8)}},
+		{"stream alongside inject events", 100, []Option{
+			OnFreeRunning(0, 0), WithRumorStream(1, 16, 8), WithRounds(50),
+			WithRumors(InjectRumor{At: 1, Node: 0, Rumor: 0})}},
 		{"rumors on lock-step", 100, []Option{
 			OnLockStep(TransportChannel), WithRounds(5),
 			WithRumors(InjectRumor{At: 1, Node: 0, Rumor: 0})}},

@@ -46,6 +46,11 @@ type LiveOptions struct {
 	// Telemetry, when non-nil, is handed to the free-running runtime so its
 	// node send paths feed live traffic counters (live.FreeRunConfig.Telemetry).
 	Telemetry *telemetry.Registry
+	// Stream, when non-nil, puts the free-running runtime in continuous
+	// rumor-stream mode (live.FreeRunConfig.Stream): the monitor injects
+	// Stream.Total rumors through the bounded in-flight window instead of the
+	// timeline seeding rumor 0.
+	Stream *live.StreamConfig
 }
 
 // transport builds the configured transport.
@@ -70,12 +75,22 @@ func (lo LiveOptions) transport(n int, lockStep bool) (live.Transport, error) {
 	}
 }
 
-// freeBudget derives the default free-running round budget.
+// freeBudget derives the default free-running round budget. A rumor stream
+// needs frontier rounds proportional to Total/Rate just to finish injecting,
+// so its default budget adds that on top of the Θ(log n) spread allowance.
 func (lo LiveOptions) freeBudget(n int) int {
 	if lo.Rounds > 0 {
 		return lo.Rounds
 	}
-	return 60 + 8*bits.Len(uint(n))
+	budget := 60 + 8*bits.Len(uint(n))
+	if lo.Stream != nil {
+		rate := lo.Stream.Rate
+		if rate <= 0 {
+			rate = 1
+		}
+		budget += int(float64(lo.Stream.Total)/rate) + 1
+	}
+	return budget
 }
 
 // RunLockStep executes one closed algorithm with every node running as its
@@ -138,6 +153,7 @@ func RunFreeRunning(ctx context.Context, n int, seed uint64, algo scenario.Algor
 		Transport:   tr,
 		OnFrontier:  lo.OnFrontier,
 		Telemetry:   lo.Telemetry,
+		Stream:      lo.Stream,
 	})
 	if err != nil {
 		return live.Report{}, err

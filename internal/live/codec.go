@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/phonecall"
+	"repro/internal/rumorset"
 )
 
 // The compact wire codec shared by every transport. One frame is one
@@ -29,6 +30,13 @@ import (
 // is offset by one so a nil IDs slice (0) and an empty non-nil slice (1)
 // round-trip distinguishably — delivered inboxes must be bit-identical to
 // the engine's.
+//
+// flagSummary selects the variable-length rumor-summary block instead of the
+// message block: the frame body after src is exactly one rumorset summary
+// (count + sorted delta varints, see rumorset.AppendSummary). Summary frames
+// carry rumor IDs, never window slots, so a frame that lingered in a mailbox
+// across an expiry/reuse cycle is harmlessly ignored by the receiver's
+// MarkIDs lookup rather than mis-marking the slot's new tenant.
 const (
 	frameCall byte = 1
 	frameResp byte = 2
@@ -36,16 +44,19 @@ const (
 	flagPayload byte = 1 << 0
 	flagPull    byte = 1 << 1
 	flagRumor   byte = 1 << 2
+	flagSummary byte = 1 << 3
 )
 
 // frame is a decoded wire frame. msg.From is zero; the receiver stamps it
-// from src.
+// from src. Summary frames fill sum instead of msg.
 type frame struct {
 	typ        byte
 	round, src int
 	hasPayload bool
+	hasSummary bool
 	wantsPull  bool
 	msg        phonecall.Message
+	sum        []rumorset.ID
 }
 
 // appendMessage encodes the message block.
@@ -99,8 +110,36 @@ func appendRespFrame(dst []byte, round, src int, m *phonecall.Message) []byte {
 	return appendMessage(dst, m)
 }
 
+// appendSummaryCallFrame encodes a call from initiator src whose payload is a
+// rumor-ID summary (ids must be sorted ascending and non-empty).
+func appendSummaryCallFrame(dst []byte, round, src int, wantsPull bool, ids []rumorset.ID) []byte {
+	flags := flagPayload | flagSummary | flagRumor
+	if wantsPull {
+		flags |= flagPull
+	}
+	dst = append(dst, frameCall, flags)
+	dst = binary.AppendUvarint(dst, uint64(round))
+	dst = binary.AppendUvarint(dst, uint64(src))
+	return rumorset.AppendSummary(dst, ids)
+}
+
+// appendSummaryRespFrame encodes responder src's pull response carrying a
+// rumor-ID summary.
+func appendSummaryRespFrame(dst []byte, round, src int, ids []rumorset.ID) []byte {
+	dst = append(dst, frameResp, flagPayload|flagSummary|flagRumor)
+	dst = binary.AppendUvarint(dst, uint64(round))
+	dst = binary.AppendUvarint(dst, uint64(src))
+	return rumorset.AppendSummary(dst, ids)
+}
+
 // parseFrame decodes one frame.
 func parseFrame(data []byte) (frame, error) {
+	return parseFrameBuf(data, nil)
+}
+
+// parseFrameBuf decodes one frame, appending a summary block's IDs to sum
+// (pass a reused scratch slice to keep the drain loop allocation-free).
+func parseFrameBuf(data []byte, sum []rumorset.ID) (frame, error) {
 	var fr frame
 	if len(data) < 2 {
 		return fr, fmt.Errorf("live: frame too short (%d bytes)", len(data))
@@ -124,6 +163,19 @@ func parseFrame(data []byte) (frame, error) {
 	}
 	rest = rest[k:]
 	fr.round, fr.src = int(round), int(src)
+	if flags&flagSummary != 0 {
+		ids, n, err := rumorset.DecodeSummary(sum, rest)
+		if err != nil {
+			return fr, fmt.Errorf("live: summary block: %w", err)
+		}
+		if n != len(rest) {
+			return fr, fmt.Errorf("live: %d trailing bytes after summary", len(rest)-n)
+		}
+		fr.hasPayload = false
+		fr.hasSummary = true
+		fr.sum = ids
+		return fr, nil
+	}
 	if !fr.hasPayload {
 		if len(rest) != 0 {
 			return fr, fmt.Errorf("live: %d trailing bytes on payload-free frame", len(rest))

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/phonecall"
+	"repro/internal/rumorset"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -60,8 +61,36 @@ type FreeRunConfig struct {
 	// send paths (repro_messages_total, repro_bits_total labeled
 	// engine="free-running"), sharded per node and merged at read time — the
 	// counters a /metrics scrape sees move while the run executes. Nil keeps
-	// the send path branch-identical to a run without telemetry.
+	// the send path branch-identical to a run without telemetry. With a
+	// Stream it additionally carries the rumor-set series
+	// (repro_rumors_active, repro_rumors_injected_total,
+	// repro_rumors_converged_total, repro_rumors_expired_total and the
+	// repro_rumor_injection_stalled gauge), updated by the monitor.
 	Telemetry *telemetry.Registry
+	// Stream, when non-nil, switches the run to the scalable rumor-set layer:
+	// the monitor continuously injects rumors at the configured rate through a
+	// bounded in-flight window, nodes gossip variable-length rumor-ID
+	// summaries instead of a 64-bit holdings mask, and converged rumors are
+	// garbage-collected so their window slots recycle. Nil keeps the legacy
+	// bitmask mode, bit-for-bit.
+	Stream *StreamConfig
+}
+
+// StreamConfig configures continuous rumor injection for a free-running run.
+// Rumor IDs are the dense sequence 0..Total-1; rumor k is seeded at the first
+// live node at or after index k mod N when the injection schedule reaches it.
+type StreamConfig struct {
+	// Total is the number of rumors the stream injects over the whole run
+	// (required, >= 1).
+	Total int
+	// Rate is the injection rate in rumors per frontier round (default 1):
+	// when the round frontier is at f, up to ceil(Rate*(f+1)) rumors have been
+	// injected. Injection additionally stalls whenever the in-flight window is
+	// full — the backpressure that keeps memory bounded when GC lags.
+	Rate float64
+	// MaxInFlight bounds the concurrently active rumors (the rumor-set window;
+	// default min(Total, 1024)).
+	MaxInFlight int
 }
 
 // FrontierInfo is the monitor's view of one frontier advance.
@@ -118,6 +147,18 @@ type FreeRun struct {
 	nextEv  int
 	ignored int // events the runtime could not honor
 
+	// Rumor-stream state (nil/zero in legacy bitmask mode). set is the shared
+	// ground truth: nodes mark their own rows from their goroutines, the
+	// monitor owns injection, GC and the convergence scan. injectNext, stalls
+	// and telLast are monitor-only; Run reads them after the monitor joins.
+	stream     *StreamConfig
+	set        *rumorset.Set
+	wide       []frWideBuf
+	scanBuf    []rumorset.ID
+	injectNext int
+	stalls     int64
+	telLast    rumorset.Stats
+
 	stats    []frStats
 	overhead int
 	wg       sync.WaitGroup
@@ -132,6 +173,22 @@ type FreeRun struct {
 type frTelemetry struct {
 	msgs     *telemetry.Counter // payload + control, like the engine's report
 	bitsSent *telemetry.Counter
+	// Stream series, resolved only with a StreamConfig; updated by the
+	// monitor, so the node send paths stay as cheap as legacy mode.
+	rumorsActive   *telemetry.Gauge
+	injectedTotal  *telemetry.Counter
+	convergedTotal *telemetry.Counter
+	expiredTotal   *telemetry.Counter
+	stalled        *telemetry.Gauge
+}
+
+// frWideBuf is one node's reusable rumor-stream scratch, touched only by the
+// owner goroutine: sorted holdings for outgoing summaries, a decode buffer
+// for incoming ones, and the round's pending pull requesters.
+type frWideBuf struct {
+	ids   []rumorset.ID
+	sum   []rumorset.ID
+	pulls []int
 }
 
 // frBehavior boxes a node's installed Byzantine behavior so the monitor can
@@ -177,6 +234,19 @@ type Report struct {
 	// Loss event on a transport without loss injection).
 	UnfiredEvents int
 	IgnoredEvents int
+	// Rumor-stream accounting (all zero without a StreamConfig).
+	// RumorsInjected counts stream registrations; RumorsConverged the rumors
+	// GC retired because every live node held them; RumorsExpired all window
+	// reclamations; RumorsActive the rumors still in flight at the end (0 on
+	// a fully converged stream). InjectionStalls counts monitor passes where
+	// a full window stalled the injection schedule; LostInjects the
+	// injections that landed on a currently-failed node.
+	RumorsInjected  int64
+	RumorsConverged int64
+	RumorsExpired   int64
+	RumorsActive    int
+	InjectionStalls int64
+	LostInjects     int64
 	// Wall is the end-to-end execution time.
 	Wall time.Duration
 }
@@ -222,6 +292,32 @@ func NewFreeRun(cfg FreeRunConfig) (*FreeRun, error) {
 	default:
 		return nil, fmt.Errorf("live: unknown algorithm %q (have push, pull, push-pull)", cfg.Algorithm)
 	}
+	// Validate the timeline up-front with the shared authority, so an invalid
+	// event is a typed construction error here exactly as it is on the
+	// simulator and lock-step engines — not a silent IgnoredEvents bump at
+	// fire time.
+	if err := scenario.ValidateEvents(cfg.N, cfg.Stream != nil, cfg.Events); err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	stream := cfg.Stream
+	if stream != nil {
+		for _, ev := range cfg.Events {
+			if _, ok := ev.(scenario.InjectRumor); ok {
+				return nil, fmt.Errorf("live: %w: a rumor stream is the sole injector; drop the InjectRumor events", scenario.ErrSpec)
+			}
+		}
+		s := *stream // defaulting must not mutate the caller's struct
+		if s.Total < 1 {
+			return nil, fmt.Errorf("live: %w: rumor stream needs Total >= 1 (got %d)", scenario.ErrSpec, s.Total)
+		}
+		if s.Rate <= 0 {
+			s.Rate = 1
+		}
+		if s.MaxInFlight <= 0 {
+			s.MaxInFlight = min(s.Total, 1024)
+		}
+		stream = &s
+	}
 	net, err := phonecall.New(phonecall.Config{N: cfg.N, Seed: cfg.Seed, PayloadBits: cfg.PayloadBits, Workers: 1})
 	if err != nil {
 		return nil, fmt.Errorf("live: %w", err)
@@ -243,6 +339,7 @@ func NewFreeRun(cfg FreeRunConfig) (*FreeRun, error) {
 		net:      net,
 		tr:       tr,
 		own:      own,
+		stream:   stream,
 		liveFlag: make([]atomic.Bool, cfg.N),
 		held:     make([]atomic.Uint64, cfg.N),
 		roundOf:  make([]atomic.Int64, cfg.N),
@@ -250,6 +347,12 @@ func NewFreeRun(cfg FreeRunConfig) (*FreeRun, error) {
 		behav:    make([]atomic.Pointer[frBehavior], cfg.N),
 		stats:    make([]frStats, cfg.N),
 		overhead: net.MessageSize(phonecall.Message{Tag: tagHoldings}),
+	}
+	if stream != nil {
+		if fr.set, err = rumorset.New(cfg.N, stream.MaxInFlight); err != nil {
+			return nil, fmt.Errorf("live: %w", err)
+		}
+		fr.wide = make([]frWideBuf, cfg.N)
 	}
 	if cfg.Telemetry != nil {
 		by := []telemetry.Label{
@@ -259,6 +362,13 @@ func NewFreeRun(cfg FreeRunConfig) (*FreeRun, error) {
 		fr.tel = &frTelemetry{
 			msgs:     cfg.Telemetry.Counter("repro_messages_total", by...),
 			bitsSent: cfg.Telemetry.Counter("repro_bits_total", by...),
+		}
+		if stream != nil {
+			fr.tel.rumorsActive = cfg.Telemetry.Gauge("repro_rumors_active", by...)
+			fr.tel.injectedTotal = cfg.Telemetry.Counter("repro_rumors_injected_total", by...)
+			fr.tel.convergedTotal = cfg.Telemetry.Counter("repro_rumors_converged_total", by...)
+			fr.tel.expiredTotal = cfg.Telemetry.Counter("repro_rumors_expired_total", by...)
+			fr.tel.stalled = cfg.Telemetry.Gauge("repro_rumor_injection_stalled", by...)
 		}
 	}
 	fr.cond = sync.NewCond(&fr.mu)
@@ -275,7 +385,7 @@ func NewFreeRun(cfg FreeRunConfig) (*FreeRun, error) {
 			hasInject = true
 		}
 	}
-	if !hasInject {
+	if !hasInject && fr.stream == nil {
 		fr.events = append([]scenario.Event{scenario.InjectRumor{At: 1, Node: 0, Rumor: 0}}, fr.events...)
 	}
 	return fr, nil
@@ -326,6 +436,25 @@ func (fr *FreeRun) Run(ctx context.Context) (Report, error) {
 		}
 	}
 	rep.AllInformed = reg != 0 && rep.Live > 0 && rep.Informed == rep.Live
+	if fr.set != nil {
+		snap := fr.set.Snapshot()
+		rep.RumorsInjected = snap.Injected
+		rep.RumorsConverged = snap.Converged
+		rep.RumorsExpired = snap.Expired
+		rep.RumorsActive = snap.Active
+		rep.LostInjects = snap.Lost
+		rep.InjectionStalls = fr.stalls
+		// Informed means "holds every still-active rumor"; with the whole
+		// stream injected and GC'd, every live node is trivially informed and
+		// the stream converged.
+		rep.Informed = 0
+		for i := 0; i < fr.cfg.N; i++ {
+			if fr.liveFlag[i].Load() && fr.set.HeldCount(i) == snap.Active {
+				rep.Informed++
+			}
+		}
+		rep.AllInformed = rep.Live > 0 && fr.injectNext == fr.stream.Total && snap.Active == 0
+	}
 	rep.CompletionFrontier = int(fr.completionAt.Load())
 	rep.UnfiredEvents = len(fr.events) - fr.nextEv
 	rep.IgnoredEvents = fr.ignored
@@ -392,6 +521,11 @@ func (fr *FreeRun) tick() {
 		fr.mu.Unlock()
 	}
 
+	if fr.set != nil {
+		fr.tickStream(frontier, advanced)
+		return
+	}
+
 	// Convergence: every live node holds every injected rumor.
 	reg := fr.registered.Load()
 	liveCount, informed, allDone := 0, 0, true
@@ -439,6 +573,113 @@ func (fr *FreeRun) tick() {
 	}
 }
 
+// tickStream is the monitor pass for rumor-stream mode: garbage-collect
+// converged rumors, advance the injection schedule under window backpressure,
+// and detect stream completion.
+func (fr *FreeRun) tickStream(frontier int64, advanced bool) {
+	// GC first: the AND-scan over live holdings rows is the race-free
+	// convergence authority here (the advisory per-slot live counters can be
+	// skewed by churn while nodes run). Retiring before injecting is what
+	// lets a full window drain within the same pass.
+	scan := fr.set.ScanConverged(fr.scanBuf[:0], func(i int) bool { return fr.liveFlag[i].Load() })
+	fr.scanBuf = scan[:0]
+	if len(scan) > 0 {
+		fr.set.Retire(scan...)
+	}
+
+	// Inject up to the frontier-proportional target. A full window stalls the
+	// schedule — bounded memory beats punctual injection — and the stall is
+	// observable (report counter + telemetry gauge).
+	target := int(fr.stream.Rate * float64(frontier+1))
+	if target < 1 {
+		target = 1
+	}
+	if target > fr.stream.Total {
+		target = fr.stream.Total
+	}
+	stalled := false
+	for fr.injectNext < target {
+		node := fr.pickInjectNode(fr.injectNext)
+		if node < 0 {
+			break // nobody alive to seed; retry next pass
+		}
+		if err := fr.set.Inject(node, rumorset.ID(fr.injectNext)); err != nil {
+			stalled = true
+			fr.stalls++
+			break
+		}
+		fr.injectNext++
+	}
+	if fr.tel != nil && fr.tel.rumorsActive != nil {
+		snap := fr.set.Snapshot()
+		fr.tel.rumorsActive.Set(int64(snap.Active))
+		fr.tel.injectedTotal.Add(snap.Injected - fr.telLast.Injected)
+		fr.tel.convergedTotal.Add(snap.Converged - fr.telLast.Converged)
+		fr.tel.expiredTotal.Add(snap.Expired - fr.telLast.Expired)
+		if stalled {
+			fr.tel.stalled.Set(1)
+		} else {
+			fr.tel.stalled.Set(0)
+		}
+		fr.telLast = snap
+	}
+
+	active := fr.set.Active()
+	liveCount, informed, allDone := 0, 0, true
+	maxRound := int64(0)
+	for i := 0; i < fr.cfg.N; i++ {
+		if !fr.liveFlag[i].Load() {
+			continue
+		}
+		if r := fr.roundOf[i].Load(); r > maxRound {
+			maxRound = r
+		}
+		liveCount++
+		if fr.set.HeldCount(i) == active {
+			informed++
+		}
+		if fr.roundOf[i].Load() < int64(fr.cfg.Rounds) {
+			allDone = false
+		}
+	}
+	if advanced && fr.cfg.OnFrontier != nil {
+		fr.cfg.OnFrontier(FrontierInfo{
+			Frontier: int(frontier),
+			MaxRound: int(maxRound),
+			Live:     liveCount,
+			Informed: informed,
+		})
+	}
+	// Stream completion: everything injected and everything reclaimed.
+	if fr.injectNext == fr.stream.Total && active == 0 && liveCount > 0 {
+		fr.completionAt.CompareAndSwap(0, max(frontier, 1))
+		if fr.nextEv >= len(fr.events) {
+			fr.stop()
+			return
+		}
+	}
+	// Natural end mirrors the legacy tick: budgets exhausted (or nobody
+	// left) and no event can ever fire again.
+	if (allDone || liveCount == 0) &&
+		(fr.nextEv >= len(fr.events) || int64(fr.events[fr.nextEv].EventRound()) > frontier+1) {
+		fr.stop()
+	}
+}
+
+// pickInjectNode picks the injection site for stream rumor k: the first live
+// node at or after k mod N, or -1 when nobody is alive. Seeding only live
+// nodes keeps a crash-heavy timeline from wedging the window with rumors
+// whose sole holder is dead.
+func (fr *FreeRun) pickInjectNode(k int) int {
+	start := k % fr.cfg.N
+	for off := 0; off < fr.cfg.N; off++ {
+		if i := (start + off) % fr.cfg.N; fr.liveFlag[i].Load() {
+			return i
+		}
+	}
+	return -1
+}
+
 // frontier computes the minimum local round among live nodes; with nobody
 // alive it parks at the budget so remaining events still fire.
 func (fr *FreeRun) frontier() int64 {
@@ -462,6 +703,9 @@ func (fr *FreeRun) apply(ev scenario.Event, frontier int64) {
 		for _, i := range e.Nodes {
 			if i >= 0 && i < fr.cfg.N {
 				fr.liveFlag[i].Store(false)
+				if fr.set != nil {
+					fr.set.Fail(i)
+				}
 			}
 		}
 		fr.cond.Broadcast() // membership changed; skew waiters re-evaluate
@@ -470,6 +714,9 @@ func (fr *FreeRun) apply(ev scenario.Event, frontier int64) {
 		fr.mu.Lock()
 		for _, i := range e.Nodes {
 			if i >= 0 && i < fr.cfg.N && !fr.liveFlag[i].Load() {
+				if fr.set != nil {
+					fr.set.Revive(i) // clears the holdings row before the node wakes
+				}
 				fr.held[i].Store(0) // rejoin uninformed, then go live
 				fr.resume[i].Store(frontier)
 				fr.roundOf[i].Store(frontier)
@@ -485,7 +732,9 @@ func (fr *FreeRun) apply(ev scenario.Event, frontier int64) {
 			fr.ignored++
 		}
 	case scenario.InjectRumor:
-		if e.Node < 0 || e.Node >= fr.cfg.N || e.Rumor >= phonecall.MaxRumors {
+		// NewFreeRun validates the timeline (and stream mode rejects inject
+		// events outright), so this guard is pure defense in depth.
+		if fr.set != nil || e.Node < 0 || e.Node >= fr.cfg.N || e.Rumor >= phonecall.MaxRumors {
 			fr.ignored++
 			return
 		}
@@ -573,7 +822,11 @@ func (fr *FreeRun) nodeLoop(i int) {
 		if !fr.waitSkew(r) {
 			return
 		}
-		drain = fr.doRound(i, r, drain)
+		if fr.set != nil {
+			drain = fr.doRoundStream(i, r, drain)
+		} else {
+			drain = fr.doRound(i, r, drain)
+		}
 		fr.roundOf[i].Store(int64(r))
 		r++
 	}
@@ -729,6 +982,122 @@ func (fr *FreeRun) doRound(i, r int, drain [][]byte) [][]byte {
 	}
 	if gained != 0 {
 		fr.mergeHeld(i, gained&fr.registered.Load())
+	}
+	if comms > st.maxComms {
+		st.maxComms = comms
+	}
+	return drain
+}
+
+// summaryBits charges a rumor-ID summary with the simulator's wide-path
+// accounting: frame overhead, the summary encoding itself, and one b-bit
+// payload per carried rumor.
+func (fr *FreeRun) summaryBits(ids []rumorset.ID) int64 {
+	return int64(fr.overhead + rumorset.SummarySize(ids)*8 + len(ids)*fr.net.PayloadBits())
+}
+
+// doRoundStream is doRound for rumor-stream mode: the node advertises the
+// sorted IDs of the active rumors it holds as a variable-length summary
+// frame, merges the summaries it drained into the shared rumor set (its own
+// row — the set's ownership contract), and answers pulls with its freshest
+// holdings. The stream path has no Byzantine seam: ValidateEvents rejects
+// CorruptAt on wide runs.
+func (fr *FreeRun) doRoundStream(i, r int, drain [][]byte) [][]byte {
+	st := &fr.stats[i]
+	wb := &fr.wide[i]
+	comms := int32(0)
+
+	wb.ids = fr.set.AppendHeld(wb.ids[:0], i)
+	held := wb.ids
+	active := fr.set.Active()
+
+	sendSummary := func(j int, ids []rumorset.ID, wantsPull bool) {
+		size := fr.summaryBits(ids)
+		st.msgs++
+		st.bits += size
+		st.sent++
+		if fr.tel != nil {
+			fr.tel.msgs.AddShard(i, 1)
+			fr.tel.bitsSent.AddShard(i, size)
+		}
+		fr.tr.Send(i, j, appendSummaryCallFrame(nil, r, i, wantsPull, ids))
+	}
+	sendPull := func(j int) {
+		size := int64(fr.net.ControlBits())
+		st.control++
+		st.bits += size
+		st.sent++
+		if fr.tel != nil {
+			fr.tel.msgs.AddShard(i, 1)
+			fr.tel.bitsSent.AddShard(i, size)
+		}
+		fr.tr.Send(i, j, appendCallFrame(nil, r, i, false, true, nil))
+	}
+
+	// The same intent shape as the steppable protocols' wide path: push stays
+	// silent with nothing to offer, pull stays silent while the node already
+	// holds everything active, push-pull always makes its call.
+	j := phonecall.RandomPeer(fr.cfg.N, fr.cfg.Seed, r, i)
+	switch fr.algo {
+	case scenario.AlgoPush:
+		if len(held) > 0 {
+			sendSummary(j, held, false)
+			comms++
+		}
+	case scenario.AlgoPull:
+		if len(held) != active || active == 0 {
+			sendPull(j)
+			comms++
+		}
+	default: // push-pull
+		if len(held) > 0 {
+			sendSummary(j, held, true)
+		} else {
+			sendPull(j)
+		}
+		comms++
+	}
+
+	drain = fr.tr.Mailbox(i).TryDrain(drain[:0])
+	pulls := wb.pulls[:0]
+	for _, raw := range drain {
+		f, err := parseFrameBuf(raw, wb.sum[:0])
+		if err != nil {
+			continue
+		}
+		if f.hasSummary {
+			if len(f.sum) > 0 {
+				fr.set.MarkIDs(i, f.sum) // stale/expired IDs are skipped inside
+			}
+			wb.sum = f.sum[:0]
+		}
+		if f.typ != frameCall {
+			continue
+		}
+		comms++
+		if f.wantsPull {
+			pulls = append(pulls, f.src)
+		}
+	}
+	wb.pulls = pulls
+	if len(pulls) > 0 && fr.algo != scenario.AlgoPush {
+		// Answer with the freshest state: everything held going in plus
+		// whatever this drain just merged.
+		resp := fr.set.AppendHeld(wb.ids[:0], i)
+		wb.ids = resp
+		if len(resp) > 0 {
+			size := fr.summaryBits(resp)
+			for _, src := range pulls {
+				st.msgs++
+				st.bits += size
+				st.sent++
+				if fr.tel != nil {
+					fr.tel.msgs.AddShard(i, 1)
+					fr.tel.bitsSent.AddShard(i, size)
+				}
+				fr.tr.Send(i, src, appendSummaryRespFrame(nil, r, i, resp))
+			}
+		}
 	}
 	if comms > st.maxComms {
 		st.maxComms = comms

@@ -12,13 +12,16 @@ import (
 // crash, rejoin uninformed, and several rumors spread concurrently, so that
 // "how many live nodes hold rumor r" stays O(1) to query under churn.
 
-// RumorID identifies one rumor in a multi-rumor workload. IDs are small
-// consecutive integers in [0, MaxRumors).
-type RumorID uint8
+// RumorID identifies one rumor in a multi-rumor workload. The tracker in
+// this file handles the small dense range [0, MaxRumors); wider IDs belong to
+// the scalable rumor-set layer (internal/rumorset), which this bitmask
+// tracker is the small-set specialization of.
+type RumorID uint32
 
-// MaxRumors bounds the number of concurrently tracked rumors: a node's
-// holdings are one uint64 bitmask, which is also how protocols encode "all
-// rumors I hold" in a single message value.
+// MaxRumors bounds the number of concurrently tracked rumors in the bitmask
+// fast path: a node's holdings are one uint64 bitmask, which is also how
+// protocols encode "all rumors I hold" in a single message value. Workloads
+// with more (or sparser) rumor IDs run on internal/rumorset instead.
 const MaxRumors = 64
 
 // RumorTracker tracks which nodes hold which rumors and how many live nodes
@@ -34,7 +37,16 @@ type RumorTracker struct {
 	net  *Network
 	held []uint64 // per node: bitmask of held rumors, written by the owner only
 	live [MaxRumors]atomic.Int64
-	used uint64 // bitmask of registered rumor IDs
+	// used is the bitmask of registered rumor IDs. Registration is
+	// coordinator-only, but MarkSet reads the mask from node delivery
+	// callbacks, so the word is atomic: a Register interleaved with a running
+	// round (legal on the lock-step runtime, whose coordinator phases overlap
+	// node goroutine teardown) must not race the mask reads.
+	used atomic.Uint64
+	// lost counts Inject calls that landed on a currently-failed node: the
+	// held bit is set but a later Revive erases it (rejoin-uninformed), so
+	// without this counter the event would be a silent no-op. Coordinator-only.
+	lost int64
 }
 
 // NewRumorTracker returns an empty tracker for the network.
@@ -49,15 +61,17 @@ func (t *RumorTracker) Register(r RumorID) error {
 	if r >= MaxRumors {
 		return fmt.Errorf("phonecall: rumor id %d outside [0,%d)", r, MaxRumors)
 	}
-	t.used |= 1 << r
+	t.used.Or(1 << r)
 	return nil
 }
 
 // Registered returns the bitmask of registered rumor IDs.
-func (t *RumorTracker) Registered() uint64 { return t.used }
+func (t *RumorTracker) Registered() uint64 { return t.used.Load() }
 
 // Inject registers the rumor and marks the node as holding it (the scenario
-// InjectRumor event). Coordinator-only.
+// InjectRumor event). Injecting at a currently-failed node still sets the
+// held bit (the node knows the rumor until it is restarted) but counts as a
+// lost inject, because a Revive erases the bit again. Coordinator-only.
 func (t *RumorTracker) Inject(node int, r RumorID) error {
 	if node < 0 || node >= t.net.n {
 		return fmt.Errorf("phonecall: inject node %d outside [0,%d)", node, t.net.n)
@@ -65,9 +79,17 @@ func (t *RumorTracker) Inject(node int, r RumorID) error {
 	if err := t.Register(r); err != nil {
 		return err
 	}
+	if t.net.failed[node] {
+		t.lost++
+	}
 	t.Mark(node, r)
 	return nil
 }
+
+// LostInjects returns the number of Inject calls that landed on a node that
+// was failed at injection time — rumors a rejoin-uninformed Revive silently
+// forgets. Coordinator-only, like Inject.
+func (t *RumorTracker) LostInjects() int64 { return t.lost }
 
 // Mark records that the node holds the rumor. Idempotent; unregistered rumors
 // are ignored. Callable from node's own delivery callback.
@@ -79,7 +101,7 @@ func (t *RumorTracker) Mark(node int, r RumorID) {
 // from a received message). Unregistered bits are ignored. Callable from
 // node's own delivery callback.
 func (t *RumorTracker) MarkSet(node int, set uint64) {
-	set &= t.used
+	set &= t.used.Load()
 	fresh := set &^ t.held[node]
 	if fresh == 0 {
 		return

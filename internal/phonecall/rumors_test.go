@@ -74,6 +74,9 @@ func TestRumorInjectOnDeadNode(t *testing.T) {
 	if !tr.Has(3, 1) {
 		t.Fatal("dead node's holdings not recorded")
 	}
+	if got := tr.LostInjects(); got != 1 {
+		t.Fatalf("inject on a failed node not counted as lost (got %d)", got)
+	}
 	if got := tr.LiveInformed(1); got != 0 {
 		t.Fatalf("dead node counted as live-informed (%d)", got)
 	}

@@ -1,0 +1,96 @@
+package rumorset
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Summary codec: the compact wire form of "the rumor IDs I hold". IDs are
+// encoded sorted ascending as delta varints — a count prefix, the first ID,
+// then (delta-1) for each successor, exploiting that sorted unique IDs have
+// deltas ≥ 1. Dense streams (sequential injection IDs) collapse to one byte
+// per rumor; the encoding stays valid for arbitrarily sparse uint32 IDs.
+//
+// The summary deliberately carries rumor IDs, not slots: slots are a local
+// reuse pool, so a frame that lingered in flight across an expiry would
+// otherwise alias whatever rumor reused the slot. Decoded IDs that no longer
+// resolve (expired mid-flight) are dropped by MarkIDs.
+
+// MaxSummaryIDs bounds the decoded summary length, protecting the decoder
+// against hostile count prefixes. It is far above any real in-flight window.
+const MaxSummaryIDs = 1 << 20
+
+// AppendSummary appends the encoded summary of ids to dst and returns the
+// extended slice. ids must be sorted ascending and duplicate-free (as
+// produced by AppendHeld); it may be empty.
+func AppendSummary(dst []byte, ids []ID) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	prev := uint64(0)
+	for i, id := range ids {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, uint64(id))
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(id)-prev-1)
+		}
+		prev = uint64(id)
+	}
+	return dst
+}
+
+// DecodeSummary decodes one summary from the front of b, appending the IDs to
+// dst. It returns the extended slice and the number of bytes consumed.
+// Rejects truncated input, non-monotone deltas (impossible by construction —
+// indicates corruption), and IDs overflowing the uint32 space.
+func DecodeSummary(dst []ID, b []byte) ([]ID, int, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return dst, 0, fmt.Errorf("rumorset: truncated summary count")
+	}
+	if count > MaxSummaryIDs {
+		return dst, 0, fmt.Errorf("rumorset: summary claims %d ids (max %d)", count, MaxSummaryIDs)
+	}
+	off := n
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		d, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return dst, 0, fmt.Errorf("rumorset: truncated summary id %d/%d", i, count)
+		}
+		off += n
+		id := d
+		if i > 0 {
+			id = prev + 1 + d
+		}
+		if id > 1<<32-1 {
+			return dst, 0, fmt.Errorf("rumorset: summary id %d overflows uint32", id)
+		}
+		dst = append(dst, ID(id))
+		prev = id
+	}
+	return dst, off, nil
+}
+
+// SummarySize returns the encoded byte length of a summary over ids without
+// encoding it (for bit-accounting). ids must be sorted ascending.
+func SummarySize(ids []ID) int {
+	size := uvarintLen(uint64(len(ids)))
+	prev := uint64(0)
+	for i, id := range ids {
+		if i == 0 {
+			size += uvarintLen(uint64(id))
+		} else {
+			size += uvarintLen(uint64(id) - prev - 1)
+		}
+		prev = uint64(id)
+	}
+	return size
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/harness"
+	"repro/internal/live"
 	"repro/internal/phonecall"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
@@ -134,6 +135,22 @@ type Spec struct {
 	// ScenarioName labels multi-rumor results.
 	ScenarioName string
 
+	// StreamTotal > 0 switches a free-running run to the scalable rumor-set
+	// layer: the monitor continuously injects StreamTotal rumors (IDs
+	// 0..StreamTotal-1) at StreamRate rumors per frontier round (default 1)
+	// through a bounded in-flight window, with injection stalling while the
+	// window is full. Free-running engine only; a stream replaces InjectRumor
+	// events.
+	StreamTotal int
+	StreamRate  float64
+	// MaxInFlight bounds the concurrently active rumors of the rumor-set
+	// layer. On the simulator it forces a rumor-injecting timeline onto the
+	// wide rumor-set path (0 still selects wide when the timeline injects IDs
+	// >= 64, sizing the window to the distinct rumor count); on the
+	// free-running engine it is the stream's window (default
+	// min(StreamTotal, 1024)).
+	MaxInFlight int
+
 	// Engine selects the substrate; the remaining fields tune the live
 	// engines only.
 	Engine Engine
@@ -191,6 +208,19 @@ type Outcome struct {
 	// when nothing failed.
 	SendFailures     int64
 	NodeSendFailures map[int]int64
+
+	// Rumor-set extras (wide simulator runs and free-running streams).
+	// LostInjects counts injections at failed nodes whose rumor never reached
+	// a live node; RumorsExpired counts converged rumors the GC retired.
+	// The remaining fields are stream-only: totals over the stream's life,
+	// the rumors still active when the run stopped (0 on a drained stream),
+	// and how many monitor ticks injection spent stalled on a full window.
+	LostInjects     int64
+	RumorsInjected  int64
+	RumorsConverged int64
+	RumorsExpired   int64
+	RumorsActive    int
+	InjectionStalls int64
 
 	// Telemetry is the registry snapshot taken when the run finished, for
 	// specs that set Spec.Telemetry; nil otherwise.
@@ -313,6 +343,18 @@ func (s Spec) Validate() error {
 	if s.Rounds < 0 {
 		return invalidf("negative Rounds %d", s.Rounds)
 	}
+	if s.StreamTotal < 0 {
+		return invalidf("negative StreamTotal %d", s.StreamTotal)
+	}
+	if s.StreamRate < 0 {
+		return invalidf("negative StreamRate %v", s.StreamRate)
+	}
+	if s.StreamRate > 0 && s.StreamTotal == 0 {
+		return invalidf("StreamRate %v without a stream (set StreamTotal)", s.StreamRate)
+	}
+	if s.MaxInFlight < 0 {
+		return invalidf("negative MaxInFlight %d", s.MaxInFlight)
+	}
 	if err := s.validateEvents(); err != nil {
 		return err
 	}
@@ -321,51 +363,41 @@ func (s Spec) Validate() error {
 
 // validateEvents checks every timeline event against the network size and
 // the model's ranges — the checks the engines would otherwise only hit (or
-// silently miss) deep inside a run.
+// silently miss) deep inside a run. The per-event authority is
+// scenario.ValidateEvents, shared with every engine constructor, so a bad
+// event yields the same ErrSpec-typed diagnosis no matter which layer sees it
+// first; here it is additionally wrapped in ErrInvalidConfig so both
+// errors.Is tests hold at the boundary.
 func (s Spec) validateEvents() error {
 	for _, ev := range s.Events {
 		if ev == nil {
 			return invalidf("nil timeline event")
 		}
-		switch e := ev.(type) {
-		case scenario.CrashAt:
-			if err := checkNodes(s.N, e.Nodes); err != nil {
-				return invalidf("crash at round %d: %v", e.At, err)
-			}
-		case scenario.JoinAt:
-			if err := checkNodes(s.N, e.Nodes); err != nil {
-				return invalidf("join at round %d: %v", e.At, err)
-			}
-		case scenario.Loss:
-			if e.Rate < 0 || e.Rate > 1 {
-				return invalidf("loss rate %v outside [0,1] at round %d", e.Rate, e.At)
-			}
-		case scenario.InjectRumor:
-			if e.Node < 0 || e.Node >= s.N {
-				return invalidf("inject at round %d: node %d outside [0,%d)", e.At, e.Node, s.N)
-			}
-			if e.Rumor >= phonecall.MaxRumors {
-				return invalidf("inject at round %d: rumor id %d outside [0,%d)", e.At, e.Rumor, phonecall.MaxRumors)
-			}
-		case scenario.CorruptAt:
-			if err := checkNodes(s.N, e.Nodes); err != nil {
-				return invalidf("corrupt at round %d: %v", e.At, err)
-			}
-			if err := e.Adversary.Validate(s.N); err != nil {
-				return invalidf("corrupt at round %d: %v", e.At, err)
-			}
-		}
+	}
+	if err := scenario.ValidateEvents(s.N, s.wide(), s.Events); err != nil {
+		return fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 	}
 	return nil
 }
 
-func checkNodes(n int, nodes []int) error {
-	for _, i := range nodes {
-		if i < 0 || i >= n {
-			return fmt.Errorf("node %d outside [0,%d)", i, n)
+// wide reports whether the spec selects the scalable rumor-set layer, which
+// lifts the per-event rumor-ID bound from the 64-rumor bitmask to the uint32
+// ID space. The free-running engine goes wide only through a stream (its
+// timeline injects stay in the bitmask range); the simulator goes wide on an
+// explicit window or any timeline inject past the bitmask.
+func (s Spec) wide() bool {
+	if s.Engine == EngineFreeRunning {
+		return s.StreamTotal > 0
+	}
+	if s.MaxInFlight > 0 || s.StreamTotal > 0 {
+		return true
+	}
+	for _, ev := range s.Events {
+		if inj, ok := ev.(scenario.InjectRumor); ok && inj.Rumor >= phonecall.MaxRumors {
+			return true
 		}
 	}
-	return nil
+	return false
 }
 
 // validateEngine checks the engine-specific constraints: which algorithms,
@@ -373,6 +405,12 @@ func checkNodes(n int, nodes []int) error {
 func (s Spec) validateEngine() error {
 	switch s.Engine {
 	case EngineSimulator, EngineLockStep:
+		if s.StreamTotal > 0 {
+			return invalidf("rumor streams (StreamTotal/StreamRate) run on the free-running engine only")
+		}
+		if s.MaxInFlight > 0 && !s.multiRumor() {
+			return invalidf("MaxInFlight needs a rumor-injecting timeline (wide simulator runs) or a free-running stream")
+		}
 		if s.multiRumor() {
 			if s.Engine == EngineLockStep {
 				return invalidf("multi-rumor timelines run on the simulator or free-running engines, not lock-step")
@@ -398,6 +436,12 @@ func (s Spec) validateEngine() error {
 	case EngineFreeRunning:
 		if !steppable(s.Algorithm) {
 			return invalidf("the free-running engine runs the steppable protocols (push, pull, push-pull), not %q", s.Algorithm)
+		}
+		if s.StreamTotal > 0 && s.multiRumor() {
+			return invalidf("a rumor stream is the sole injector; drop the InjectRumor events")
+		}
+		if s.MaxInFlight > 0 && s.StreamTotal == 0 {
+			return invalidf("MaxInFlight on the free-running engine is the stream window; set StreamTotal")
 		}
 		if s.Transport != "" && s.Transport != "chan" && s.Transport != "udp" {
 			return invalidf("unknown transport %q (have chan, udp)", s.Transport)
@@ -519,11 +563,12 @@ func (scenarioRunner) Run(ctx context.Context, spec Spec) (Outcome, error) {
 		events = append(events, scenario.Loss{At: 1, Rate: spec.LossRate, Seed: spec.LossSeed})
 	}
 	sc := scenario.Scenario{
-		Name:      spec.ScenarioName,
-		N:         spec.N,
-		Rounds:    spec.Rounds,
-		Algorithm: scenario.Algorithm(spec.Algorithm),
-		Events:    events,
+		Name:        spec.ScenarioName,
+		N:           spec.N,
+		Rounds:      spec.Rounds,
+		Algorithm:   scenario.Algorithm(spec.Algorithm),
+		Events:      events,
+		MaxInFlight: spec.MaxInFlight,
 	}
 	cfg := scenario.Config{
 		Seed:        spec.Seed,
@@ -559,6 +604,8 @@ func scenarioOutcome(res scenario.Result) Outcome {
 		Scenario:       res.Scenario,
 		Rumors:         res.Rumors,
 		ScenarioPhases: res.Phases,
+		LostInjects:    res.LostInjects,
+		RumorsExpired:  res.RumorsExpired,
 		Engine:         EngineSimulator,
 	}
 	worst := -1
@@ -607,6 +654,13 @@ func (freeRunner) Run(ctx context.Context, spec Spec) (Outcome, error) {
 		OnFrontier:  spec.tap.onFrontier(),
 		Telemetry:   spec.Telemetry,
 	}
+	if spec.StreamTotal > 0 {
+		lo.Stream = &live.StreamConfig{
+			Total:       spec.StreamTotal,
+			Rate:        spec.StreamRate,
+			MaxInFlight: spec.MaxInFlight,
+		}
+	}
 	algo := scenario.Algorithm(spec.Algorithm)
 	if algo == "" {
 		algo = scenario.AlgoPushPull
@@ -624,6 +678,12 @@ func (freeRunner) Run(ctx context.Context, spec Spec) (Outcome, error) {
 		Wall:             rep.Wall,
 		SendFailures:     rep.SendFailures,
 		NodeSendFailures: rep.NodeSendFailures,
+		LostInjects:      rep.LostInjects,
+		RumorsInjected:   rep.RumorsInjected,
+		RumorsConverged:  rep.RumorsConverged,
+		RumorsExpired:    rep.RumorsExpired,
+		RumorsActive:     rep.RumorsActive,
+		InjectionStalls:  rep.InjectionStalls,
 		Engine:           EngineFreeRunning,
 	}
 	return out, nil

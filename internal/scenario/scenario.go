@@ -229,6 +229,84 @@ type Scenario struct {
 	// without rumors measures nothing). Order among same-round events is
 	// preserved.
 	Events []Event
+	// MaxInFlight bounds the rumor-set window on the wide (>64-rumor) path; 0
+	// sizes the window to hold every distinct injected rumor. Setting it also
+	// forces the wide path for small workloads (conformance testing against
+	// the bitmask path). An injection that finds the window full — GC has not
+	// reclaimed enough converged rumors — aborts the run with
+	// rumorset.ErrFull; preplanned timelines have no one to backpressure.
+	MaxInFlight int
+}
+
+// Wide reports whether the scenario needs the scalable rumor-set path: a
+// rumor ID beyond the bitmask range, or an explicit MaxInFlight window.
+func (sc Scenario) Wide() bool {
+	if sc.MaxInFlight > 0 {
+		return true
+	}
+	for _, ev := range sc.Events {
+		if inj, ok := ev.(InjectRumor); ok && inj.Rumor >= phonecall.MaxRumors {
+			return true
+		}
+	}
+	return false
+}
+
+// distinctRumors counts the distinct rumor IDs the timeline injects.
+func distinctRumors(events []Event) int {
+	seen := map[phonecall.RumorID]bool{}
+	for _, ev := range events {
+		if inj, ok := ev.(InjectRumor); ok {
+			seen[inj.Rumor] = true
+		}
+	}
+	return len(seen)
+}
+
+// ValidateEvents bounds-checks a timeline against an n-node network: node
+// indexes, loss rates, rumor IDs, and adversary specs. It is the single
+// validation authority shared by the scenario driver, the run layer, and the
+// live engines, so every engine rejects an invalid event identically —
+// up-front, with an ErrSpec-typed error — instead of one engine erroring and
+// another silently ignoring the event. wide lifts the bitmask rumor-ID bound
+// (the rumor-set path accepts the full uint32 space) but rejects CorruptAt:
+// the byzantine behaviors rewrite uint64 holdings masks and have no wide
+// equivalent.
+func ValidateEvents(n int, wide bool, events []Event) error {
+	for _, ev := range events {
+		switch e := ev.(type) {
+		case CrashAt:
+			if err := checkNodes(n, e.Nodes); err != nil {
+				return fmt.Errorf("%w: crash at round %d: %w", ErrSpec, e.At, err)
+			}
+		case JoinAt:
+			if err := checkNodes(n, e.Nodes); err != nil {
+				return fmt.Errorf("%w: join at round %d: %w", ErrSpec, e.At, err)
+			}
+		case Loss:
+			if e.Rate < 0 || e.Rate > 1 {
+				return fmt.Errorf("%w: loss rate %v outside [0,1]", ErrSpec, e.Rate)
+			}
+		case InjectRumor:
+			if e.Node < 0 || e.Node >= n {
+				return fmt.Errorf("%w: inject node %d outside [0,%d)", ErrSpec, e.Node, n)
+			}
+			if !wide && e.Rumor >= phonecall.MaxRumors {
+				return fmt.Errorf("%w: rumor id %d outside the bitmask range [0,%d) (wide rumor-set runs lift the cap)", ErrSpec, e.Rumor, phonecall.MaxRumors)
+			}
+		case CorruptAt:
+			if wide {
+				return fmt.Errorf("%w: corrupt at round %d: byzantine behaviors need the ≤%d-rumor bitmask path", ErrSpec, e.At, phonecall.MaxRumors)
+			}
+			if err := checkNodes(n, e.Nodes); err != nil {
+				return fmt.Errorf("%w: corrupt at round %d: %w", ErrSpec, e.At, err)
+			}
+			if err := e.Adversary.Validate(n); err != nil {
+				return fmt.Errorf("corrupt at round %d: %w", e.At, err)
+			}
+		}
+	}
+	return nil
 }
 
 // Validate checks the scenario against the network size and protocol
@@ -243,15 +321,15 @@ func (sc Scenario) Validate() error {
 	if _, err := sc.Algorithm.orDefault(); err != nil {
 		return err
 	}
+	if err := ValidateEvents(sc.N, sc.Wide(), sc.Events); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
 	injects := 0
 	crashedAt := map[int]map[int]bool{} // round -> crashed node set
 	var corrupts []CorruptAt
 	for _, ev := range sc.Events {
 		switch e := ev.(type) {
 		case CrashAt:
-			if err := checkNodes(sc.N, e.Nodes); err != nil {
-				return fmt.Errorf("scenario: crash at round %d: %w", e.At, err)
-			}
 			set := crashedAt[e.At]
 			if set == nil {
 				set = make(map[int]bool, len(e.Nodes))
@@ -260,29 +338,9 @@ func (sc Scenario) Validate() error {
 			for _, i := range e.Nodes {
 				set[i] = true
 			}
-		case JoinAt:
-			if err := checkNodes(sc.N, e.Nodes); err != nil {
-				return fmt.Errorf("scenario: join at round %d: %w", e.At, err)
-			}
-		case Loss:
-			if e.Rate < 0 || e.Rate > 1 {
-				return fmt.Errorf("scenario: loss rate %v outside [0,1]", e.Rate)
-			}
 		case InjectRumor:
-			if e.Node < 0 || e.Node >= sc.N {
-				return fmt.Errorf("scenario: inject node %d outside [0,%d)", e.Node, sc.N)
-			}
-			if e.Rumor >= phonecall.MaxRumors {
-				return fmt.Errorf("scenario: rumor id %d outside [0,%d)", e.Rumor, phonecall.MaxRumors)
-			}
 			injects++
 		case CorruptAt:
-			if err := checkNodes(sc.N, e.Nodes); err != nil {
-				return fmt.Errorf("scenario: corrupt at round %d: %w", e.At, err)
-			}
-			if err := e.Adversary.Validate(sc.N); err != nil {
-				return fmt.Errorf("scenario: corrupt at round %d: %w", e.At, err)
-			}
 			corrupts = append(corrupts, e)
 		}
 	}
@@ -300,7 +358,10 @@ func (sc Scenario) Validate() error {
 		}
 	}
 	if injects == 0 {
-		return fmt.Errorf("scenario: timeline injects no rumor")
+		return fmt.Errorf("%w: timeline injects no rumor", ErrSpec)
+	}
+	if sc.MaxInFlight < 0 {
+		return fmt.Errorf("%w: negative MaxInFlight %d", ErrSpec, sc.MaxInFlight)
 	}
 	return nil
 }
@@ -387,6 +448,14 @@ type Result struct {
 	Bits             int64
 	MessagesPerNode  float64
 	MaxCommsPerRound int
+	// LostInjects counts InjectRumor events that landed on a currently-failed
+	// node: the rumor is held until the node restarts, at which point the
+	// rejoin-uninformed semantics erase it — without this counter such an
+	// event would be a silent no-op.
+	LostInjects int64
+	// RumorsExpired counts rumors the wide path's GC reclaimed after
+	// convergence (0 on the bitmask path, which never expires).
+	RumorsExpired int64
 	// Rumors holds the final per-rumor outcomes, ordered by rumor ID; Phases
 	// the per-phase trace.
 	Rumors []RumorOutcome
@@ -420,6 +489,9 @@ func Run(ctx context.Context, sc Scenario, cfg Config) (res Result, err error) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if sc.Wide() {
+		return runWide(ctx, sc, cfg, algo, workers)
 	}
 	net, err := phonecall.New(phonecall.Config{
 		N:           sc.N,
@@ -506,6 +578,7 @@ func Run(ctx context.Context, sc Scenario, cfg Config) (res Result, err error) {
 
 	m := net.Metrics()
 	res.Live = net.LiveCount()
+	res.LostInjects = tr.LostInjects()
 	res.Messages = m.Messages
 	res.ControlMessages = m.ControlMessages
 	res.Bits = m.Bits

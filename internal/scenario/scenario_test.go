@@ -272,7 +272,13 @@ func TestValidate(t *testing.T) {
 		{"join out of range", Scenario{N: 10, Rounds: 5, Events: []Event{inject, JoinAt{At: 2, Nodes: []int{-1}}}}, false},
 		{"loss rate", Scenario{N: 10, Rounds: 5, Events: []Event{inject, Loss{At: 1, Rate: 1.5}}}, false},
 		{"inject node", Scenario{N: 10, Rounds: 5, Events: []Event{InjectRumor{At: 1, Node: 99, Rumor: 0}}}, false},
-		{"inject rumor id", Scenario{N: 10, Rounds: 5, Events: []Event{InjectRumor{At: 1, Node: 0, Rumor: 64}}}, false},
+		{"wide rumor id", Scenario{N: 10, Rounds: 5, Events: []Event{InjectRumor{At: 1, Node: 0, Rumor: 64}}}, true},
+		{"wide forced by window", Scenario{N: 10, Rounds: 5, MaxInFlight: 4, Events: []Event{inject}}, true},
+		{"negative window", Scenario{N: 10, Rounds: 5, MaxInFlight: -1, Events: []Event{inject}}, false},
+		{"wide rejects corrupt", Scenario{N: 10, Rounds: 5, Events: []Event{
+			InjectRumor{At: 1, Node: 0, Rumor: 9999},
+			CorruptAt{At: 2, Nodes: []int{1}, Adversary: AdversarySpec{Kind: AdvLiar, Seed: 1}},
+		}}, false},
 	} {
 		err := tc.sc.Validate()
 		if tc.ok && err != nil {

@@ -42,6 +42,7 @@ type Spec struct {
 	Seed        uint64          `json:"seed,omitempty"`
 	PayloadBits int             `json:"payload_bits,omitempty"`
 	Workers     int             `json:"workers,omitempty"`
+	MaxInFlight int             `json:"max_in_flight,omitempty"`
 	Events      []EventSpec     `json:"events,omitempty"`
 	Generators  []GeneratorSpec `json:"generators,omitempty"`
 }
@@ -112,10 +113,11 @@ func ParseSpec(data []byte) (Spec, error) {
 // Build expands the spec into a validated Scenario and its execution Config.
 func (s Spec) Build() (Scenario, Config, error) {
 	sc := Scenario{
-		Name:      s.Name,
-		N:         s.N,
-		Rounds:    s.Rounds,
-		Algorithm: Algorithm(s.Algorithm),
+		Name:        s.Name,
+		N:           s.N,
+		Rounds:      s.Rounds,
+		Algorithm:   Algorithm(s.Algorithm),
+		MaxInFlight: s.MaxInFlight,
 	}
 	for i, es := range s.Events {
 		if es.Round < 0 {
@@ -176,8 +178,8 @@ func (es EventSpec) event(n int) (Event, error) {
 	case "loss":
 		return Loss{At: es.Round, Rate: es.Rate, Seed: es.Seed}, nil
 	case "inject":
-		if es.Rumor < 0 || es.Rumor >= phonecall.MaxRumors {
-			return nil, fmt.Errorf("%w: rumor id %d outside [0,%d)", ErrSpec, es.Rumor, phonecall.MaxRumors)
+		if es.Rumor < 0 || int64(es.Rumor) > (1<<32-1) {
+			return nil, fmt.Errorf("%w: rumor id %d outside the uint32 id space", ErrSpec, es.Rumor)
 		}
 		return InjectRumor{At: es.Round, Node: es.Node, Rumor: phonecall.RumorID(es.Rumor)}, nil
 	default:

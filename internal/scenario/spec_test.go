@@ -89,7 +89,11 @@ func TestSpecEventErrors(t *testing.T) {
 	for name, body := range map[string]string{
 		"unknown event type":   `{"n":10,"rounds":5,"events":[{"type":"meteor","round":1}]}`,
 		"crash without pick":   `{"n":10,"rounds":5,"events":[{"type":"crash","round":1}]}`,
-		"bad rumor id":         `{"n":10,"rounds":5,"events":[{"type":"inject","round":1,"node":0,"rumor":64}]}`,
+		"bad rumor id":         `{"n":10,"rounds":5,"events":[{"type":"inject","round":1,"node":0,"rumor":-1}]}`,
+		"rumor id past uint32": `{"n":10,"rounds":5,"events":[{"type":"inject","round":1,"node":0,"rumor":4294967296}]}`,
+		"wide with corrupt": `{"n":10,"rounds":5,"events":[
+			{"type":"inject","round":1,"node":0,"rumor":100},
+			{"type":"corrupt","round":2,"nodes":[1],"behavior":"liar"}]}`,
 		"unknown generator":    `{"n":10,"rounds":5,"generators":[{"type":"quake","start":1}]}`,
 		"flap without nodes":   `{"n":10,"rounds":5,"generators":[{"type":"flap","start":1}]}`,
 		"negative round":       `{"n":10,"rounds":5,"events":[{"type":"crash","round":-3,"nodes":[1]}]}`,

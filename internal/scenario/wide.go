@@ -1,0 +1,312 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/phonecall"
+	"repro/internal/rumorset"
+)
+
+// The wide path: the same steppable push/pull/push-pull protocols over the
+// scalable rumor-set ledger (internal/rumorset) instead of the uint64
+// holdings bitmask. A message carries the sorted rumor IDs the sender holds
+// in its IDs field and is charged the digest bytes plus one payload per
+// carried rumor; converged rumors are retired between rounds (GC), so the
+// in-flight window — not the total stream length — bounds per-node state and
+// message size. Workloads that fit the bitmask (≤64 dense IDs, no explicit
+// window) never come here, keeping the legacy path bit-identical.
+
+// wideProtocol binds one steppable protocol to a network and a rumor set.
+// Per-node scratch buffers keep the round loop allocation-light; intent and
+// response use separate buffers because both messages stay referenced until
+// the engine's delivery phase.
+type wideProtocol struct {
+	algo     Algorithm
+	net      *phonecall.Network
+	set      *rumorset.Set
+	overhead int // bits charged for the non-payload, non-digest part
+	scratch  []wideBufs
+}
+
+type wideBufs struct {
+	ids    []rumorset.ID      // AppendHeld scratch (sorted holdings)
+	intent []phonecall.NodeID // backing array of the intent message's IDs
+	resp   []phonecall.NodeID // backing array of the response message's IDs
+	merge  []rumorset.ID      // deliver-side decode scratch
+}
+
+func newWideProtocol(algo Algorithm, net *phonecall.Network, set *rumorset.Set) *wideProtocol {
+	return &wideProtocol{
+		algo:     algo,
+		net:      net,
+		set:      set,
+		overhead: net.MessageSize(phonecall.Message{Tag: tagRumorSet}),
+		scratch:  make([]wideBufs, set.Nodes()),
+	}
+}
+
+// message encodes a holdings digest: the sorted rumor IDs (already converted
+// into dst) plus the accounting — overhead, the summary encoding's bytes, and
+// one b-bit payload per carried rumor.
+func (p *wideProtocol) message(ids []phonecall.NodeID, sorted []rumorset.ID) phonecall.Message {
+	return phonecall.Message{
+		Tag:   tagRumorSet,
+		Rumor: true,
+		IDs:   ids,
+		Bits:  p.overhead + rumorset.SummarySize(sorted)*8 + len(sorted)*p.net.PayloadBits(),
+	}
+}
+
+// held fills the node's sorted holdings into b.ids and converts them into the
+// given NodeID buffer (the wire carries rumor IDs in the message's IDs
+// field).
+func (p *wideProtocol) held(i int, out *[]phonecall.NodeID) []rumorset.ID {
+	b := &p.scratch[i]
+	b.ids = p.set.AppendHeld(b.ids[:0], i)
+	buf := (*out)[:0]
+	for _, id := range b.ids {
+		buf = append(buf, phonecall.NodeID(id))
+	}
+	*out = buf
+	return b.ids
+}
+
+// intent implements the per-node initiation, mirroring the bitmask
+// protocol's shape: push stays silent when empty, pull stays silent when the
+// node holds every in-flight rumor, push-pull always exchanges.
+func (p *wideProtocol) intent(i int) phonecall.Intent {
+	b := &p.scratch[i]
+	switch p.algo {
+	case AlgoPush:
+		sorted := p.held(i, &b.intent)
+		if len(sorted) == 0 {
+			return phonecall.Silent()
+		}
+		return phonecall.PushIntent(phonecall.RandomTarget(), p.message(b.intent, sorted))
+	case AlgoPull:
+		if p.set.HeldCount(i) == p.set.Active() {
+			// Holds every in-flight rumor: nothing left to ask for.
+			return phonecall.Silent()
+		}
+		return phonecall.PullIntent(phonecall.RandomTarget())
+	default: // AlgoPushPull
+		sorted := p.held(i, &b.intent)
+		if len(sorted) == 0 {
+			return phonecall.ExchangeIntent(phonecall.RandomTarget(), phonecall.Message{})
+		}
+		return phonecall.ExchangeIntent(phonecall.RandomTarget(), p.message(b.intent, sorted))
+	}
+}
+
+// response answers pulls with the responder's holdings digest.
+func (p *wideProtocol) response(j int) (phonecall.Message, bool) {
+	if p.algo == AlgoPush {
+		return phonecall.Message{}, false
+	}
+	b := &p.scratch[j]
+	sorted := p.held(j, &b.resp)
+	if len(sorted) == 0 {
+		return phonecall.Message{}, false
+	}
+	return p.message(b.resp, sorted), true
+}
+
+// deliver merges every received digest into the receiver's ledger row. IDs
+// that expired while the message was in flight fail the ledger lookup and
+// are dropped (the slot-reuse ABA guard).
+func (p *wideProtocol) deliver(i int, inbox []phonecall.Message) {
+	b := &p.scratch[i]
+	b.merge = b.merge[:0]
+	for _, m := range inbox {
+		if m.Tag != tagRumorSet {
+			continue
+		}
+		for _, id := range m.IDs {
+			b.merge = append(b.merge, rumorset.ID(id))
+		}
+	}
+	if len(b.merge) > 0 {
+		p.set.MarkIDs(i, b.merge)
+	}
+}
+
+// wideFate is the coordinator's per-rumor ledger entry on the wide path.
+type wideFate struct {
+	injectRound     int
+	completionRound int // round the rumor converged and was retired (0: never)
+	informedAtEnd   int // live-informed when retired or when the budget ran out
+}
+
+// applyWide routes one timeline event to the network and the rumor-set
+// ledger (the wide analogue of Event.Apply over the bitmask tracker).
+func applyWide(ev Event, net *phonecall.Network, set *rumorset.Set) error {
+	switch e := ev.(type) {
+	case CrashAt:
+		set.Fail(e.Nodes...)
+		net.Fail(e.Nodes...)
+	case JoinAt:
+		set.Revive(e.Nodes...)
+		net.Revive(e.Nodes...)
+	case Loss:
+		net.SetLoss(e.Rate, e.Seed)
+	case InjectRumor:
+		if err := set.Inject(e.Node, rumorset.ID(e.Rumor)); err != nil {
+			return fmt.Errorf("scenario: round %d: %w", e.EventRound(), err)
+		}
+	default:
+		// Validate rejects everything else (CorruptAt) on the wide path.
+		return fmt.Errorf("%w: event %T unsupported on the wide rumor-set path", ErrSpec, ev)
+	}
+	return nil
+}
+
+// wideInformed snapshots the live-informed count of every in-flight rumor,
+// ordered by rumor ID (expired rumors no longer appear — their fate lives in
+// the coordinator ledger).
+func wideInformed(set *rumorset.Set, ids []rumorset.ID) ([]RumorCount, []rumorset.ID) {
+	ids = set.ActiveIDs(ids[:0])
+	out := make([]RumorCount, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, RumorCount{Rumor: phonecall.RumorID(id), LiveInformed: set.LiveInformed(id)})
+	}
+	return out, ids
+}
+
+// runWide executes the scenario over the rumor-set ledger. Structure mirrors
+// Run; the differences are the ledger (slots instead of bitmasks), the
+// between-rounds GC retiring converged rumors, and the per-rumor fate ledger
+// that remembers retired rumors after their slots are reused.
+func runWide(ctx context.Context, sc Scenario, cfg Config, algo Algorithm, workers int) (res Result, err error) {
+	window := sc.MaxInFlight
+	if window == 0 {
+		window = distinctRumors(sc.Events)
+	}
+	net, err := phonecall.New(phonecall.Config{
+		N:           sc.N,
+		Seed:        cfg.Seed,
+		PayloadBits: cfg.PayloadBits,
+		Workers:     workers,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario: %w", err)
+	}
+	set, err := rumorset.New(sc.N, window)
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario: %w", err)
+	}
+	if ctx != nil {
+		net.SetContext(ctx)
+		defer phonecall.RecoverAbort(&err)
+	}
+	if cfg.Observer != nil {
+		if b, ok := cfg.Observer.(phonecall.NetworkBinder); ok {
+			b.BindNetwork(net)
+		}
+		// TrackerBinder observers (the oracle's honest-node invariants) are
+		// bitmask-path only; the wide path has no RumorTracker to bind.
+		net.Observe(cfg.Observer)
+	}
+	proto := newWideProtocol(algo, net, set)
+	events := sortEvents(sc.Events)
+
+	res = Result{Scenario: sc.Name, Algorithm: algo, N: sc.N, Seed: cfg.Seed, Rounds: sc.Rounds}
+	fates := map[rumorset.ID]*wideFate{}
+	var scanIDs, retire []rumorset.ID
+
+	next := 0
+	cur := PhaseReport{FromRound: 1}
+	closePhase := func(to int) {
+		cur.ToRound = to
+		cur.Live = net.LiveCount()
+		cur.Informed, scanIDs = wideInformed(set, scanIDs)
+		res.Phases = append(res.Phases, cur)
+	}
+
+	for r := 1; r <= sc.Rounds; r++ {
+		if next < len(events) && events[next].EventRound() <= r && r > cur.FromRound {
+			closePhase(r - 1)
+			cur = PhaseReport{FromRound: r}
+		}
+		for next < len(events) && events[next].EventRound() <= r {
+			ev := events[next]
+			if err := applyWide(ev, net, set); err != nil {
+				return Result{}, err
+			}
+			if inj, ok := ev.(InjectRumor); ok {
+				if f := fates[rumorset.ID(inj.Rumor)]; f == nil {
+					fates[rumorset.ID(inj.Rumor)] = &wideFate{injectRound: r}
+				} else if f.completionRound > 0 {
+					// Re-injection of a retired rumor opens a new epoch.
+					f.completionRound, f.informedAtEnd = 0, 0
+				}
+			}
+			cur.Events = append(cur.Events, ev.Describe())
+			next++
+		}
+
+		rep := net.ExecRound(proto.intent, proto.response, proto.deliver)
+		cur.Messages += rep.Messages
+		cur.Bits += rep.Bits
+		if rep.MaxComms > cur.MaxComms {
+			cur.MaxComms = rep.MaxComms
+		}
+
+		// GC: retire every rumor the whole live population now holds,
+		// recording its fate first (the slot is reused afterwards). Mirrors
+		// the bitmask path's completion rule — later churn does not clear a
+		// recorded completion — but additionally frees the slot.
+		if live := net.LiveCount(); live > 0 {
+			scanIDs = set.ActiveIDs(scanIDs[:0])
+			retire = retire[:0]
+			for _, id := range scanIDs {
+				if li := set.LiveInformed(id); li >= live {
+					f := fates[id]
+					f.completionRound = r
+					f.informedAtEnd = li
+					retire = append(retire, id)
+				}
+			}
+			set.Retire(retire...)
+		}
+	}
+	closePhase(sc.Rounds)
+
+	m := net.Metrics()
+	st := set.Snapshot()
+	res.Live = net.LiveCount()
+	res.LostInjects = st.Lost
+	res.RumorsExpired = st.Expired
+	res.Messages = m.Messages
+	res.ControlMessages = m.ControlMessages
+	res.Bits = m.Bits
+	res.MessagesPerNode = m.MessagesPerNode()
+	res.MaxCommsPerRound = m.MaxCommsPerRound
+
+	ordered := make([]rumorset.ID, 0, len(fates))
+	for id := range fates {
+		ordered = append(ordered, id)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	for _, id := range ordered {
+		f := fates[id]
+		out := RumorOutcome{
+			Rumor:           phonecall.RumorID(id),
+			InjectRound:     f.injectRound,
+			CompletionRound: f.completionRound,
+		}
+		if f.completionRound > 0 {
+			// Retired: converged over the then-live population.
+			out.LiveInformed = f.informedAtEnd
+			out.LiveFraction = 1
+		} else {
+			out.LiveInformed = set.LiveInformed(id)
+			if res.Live > 0 {
+				out.LiveFraction = float64(out.LiveInformed) / float64(res.Live)
+			}
+		}
+		res.Rumors = append(res.Rumors, out)
+	}
+	return res, nil
+}

@@ -222,6 +222,56 @@ func TestAdversariesAcrossEngines(t *testing.T) {
 	}
 }
 
+// TestRumorStreamFacade drives the continuous-injection service mode end to
+// end through the public facade: WithRumorStream on the free-running engine
+// injects, converges and garbage-collects every rumor, and the stream totals
+// plus the rumor-set telemetry series surface on the Report.
+func TestRumorStreamFacade(t *testing.T) {
+	reg := NewMetricsRegistry()
+	rep, err := Run(context.Background(), 32,
+		WithSeed(5), OnFreeRunning(0, 0),
+		WithRumorStream(4, 96, 24),
+		WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Engine != "free-running" {
+		t.Fatalf("engine = %q", rep.Engine)
+	}
+	if rep.RumorsInjected != 96 || rep.RumorsConverged != 96 || rep.RumorsExpired != 96 {
+		t.Fatalf("stream totals off: %+v", rep)
+	}
+	if rep.RumorsActive != 0 || !rep.AllInformed {
+		t.Fatalf("stream did not drain: %+v", rep)
+	}
+	var converged float64
+	for _, s := range rep.Snapshot() {
+		if s.Name == "repro_rumors_converged_total" {
+			converged = s.Value
+		}
+	}
+	if converged != 96 {
+		t.Fatalf("repro_rumors_converged_total = %v, want 96", converged)
+	}
+
+	// The wide rumor-set path on the simulator accepts IDs past the bitmask.
+	wide, err := Run(context.Background(), 64,
+		WithAlgorithm(AlgoPushPull), WithSeed(8), WithRounds(80),
+		WithRumors(
+			InjectRumor{At: 1, Node: 0, Rumor: 1},
+			InjectRumor{At: 2, Node: 3, Rumor: 4096},
+		))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wide.Rumors) != 2 || !wide.AllInformed {
+		t.Fatalf("wide simulator run incomplete: %+v", wide)
+	}
+	if wide.Rumors[1].Rumor != 4096 {
+		t.Fatalf("wide rumor ID lost: %+v", wide.Rumors)
+	}
+}
+
 // TestWithAdversaries covers the convenience option: happy path,
 // reproducibility, and the typed error paths.
 func TestWithAdversaries(t *testing.T) {
