@@ -28,6 +28,7 @@ import (
 	"repro"
 	"repro/internal/cliutil"
 	"repro/internal/harness"
+	"repro/internal/policy"
 	"repro/internal/telemetry"
 )
 
@@ -132,9 +133,9 @@ func printTrajectoryRow(path string) error {
 		}
 		return fmt.Sprintf("%.0f", ns)
 	}
-	fmt.Printf("| %s | %s | %s | %s | %s | ci run |\n",
+	fmt.Printf("| %s | %s | %s | %s | %s | %s | ci run |\n",
 		time.Now().UTC().Format("2006-01-02"), commit,
-		cell("EngineRound"), cell("BroadcastCluster2"), cell("ScenarioChurn"))
+		cell("EngineRound"), cell("BroadcastCluster2"), cell("ScenarioChurn"), cell("PolicySelect"))
 	return nil
 }
 
@@ -247,6 +248,35 @@ func benchScenarioChurn(n, workers int) (float64, int, map[string]float64, error
 	return ns, rounds, telemetrySnapshot(reg), nil
 }
 
+// benchPolicySelect times one policy-weighted peer selection on an n-node,
+// 8-zone WAN topology — the same workload as BenchmarkPolicySelect in
+// internal/policy, so the JSON trajectory stays comparable to the Go
+// benchmark numbers. The selection hot path is allocation-free (locked by
+// TestSelectPeerZeroAlloc); this row tracks its latency.
+func benchPolicySelect(n int) (float64, error) {
+	tab, err := policy.WanLanTable(n, 8)
+	if err != nil {
+		return 0, err
+	}
+	pol := &policy.Policy{
+		Rules:   policy.Rules{MaxLatencyDistance: 64, MinCapacity: 32},
+		Weights: policy.Weights{SameZone: 2, Capacity: 1, Latency: 0.5},
+	}
+	sel, err := policy.NewSelector(tab, pol, 0xabcde)
+	if err != nil {
+		return 0, err
+	}
+	const ops = 1 << 21
+	for i := 0; i < ops/8; i++ { // warm-up, untimed
+		sel.SelectPeer(1, i%n)
+	}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		sel.SelectPeer(i/n+1, i%n)
+	}
+	return float64(time.Since(start).Nanoseconds()) / ops, nil
+}
+
 // runEngineBench benchmarks the round engine and the main algorithm and
 // writes the results as JSON, so future changes can track the perf
 // trajectory (ns/op for EngineRound and BroadcastCluster2). workers > 0
@@ -291,6 +321,13 @@ func runEngineBench(n, workers int, out string) error {
 	report.Results = append(report.Results, engineBenchResult{
 		Name: "ScenarioChurn", N: n, Workers: lastEffective, Rounds: scenarioRounds,
 		Trials: broadcastTrials, NsPerOp: ns, Telemetry: tel,
+	})
+	ns, err = benchPolicySelect(n)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, engineBenchResult{
+		Name: "PolicySelect", N: n, NsPerOp: ns,
 	})
 
 	data, err := json.MarshalIndent(report, "", "  ")

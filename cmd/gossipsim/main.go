@@ -38,6 +38,8 @@ func run(args []string) error {
 	failSeed := fs.Uint64("failseed", 42, "adversary seed")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "simulator engine shards per round (results are identical for any value)")
 	showPhases := fs.Bool("phases", true, "print the per-phase breakdown")
+	topology := fs.String("topology", "", "JSON topology spec attributing the nodes (zones, latency, capacity, reputation)")
+	policyPath := fs.String("policy", "", "JSON peer-selection policy over the -topology attributes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +58,7 @@ func run(args []string) error {
 	if *failures > 0 {
 		opts = append(opts, repro.WithFailures(*failures, *failSeed))
 	}
+	opts = append(opts, cliutil.PolicyOptions(*topology, *policyPath)...)
 	rep, err := repro.Run(context.Background(), *n, opts...)
 	if err != nil {
 		return err

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -51,5 +53,45 @@ func TestRunRejectsBadInput(t *testing.T) {
 		return run([]string{"-n", "1"})
 	}); err == nil {
 		t.Error("single-node network accepted")
+	}
+}
+
+// TestRunTopologyPolicy drives a zoned, policy-biased broadcast through the
+// -topology/-policy flags and pins their error paths.
+func TestRunTopologyPolicy(t *testing.T) {
+	dir := t.TempDir()
+	topoPath := filepath.Join(dir, "topo.json")
+	polPath := filepath.Join(dir, "policy.json")
+	if err := os.WriteFile(topoPath, []byte(`{"generator":"zones","zones":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(polPath, []byte(`{"weights":{"same_zone":3}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-algo", "cluster2", "-n", "400", "-seed", "2",
+			"-topology", topoPath, "-policy", polPath})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "all informed: true") {
+		t.Errorf("policy-driven broadcast did not complete:\n%s", out)
+	}
+
+	if _, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-n", "400", "-policy", polPath})
+	}); err == nil {
+		t.Error("policy without topology accepted")
+	}
+	if _, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-n", "400", "-topology", "/nonexistent/topo.json"})
+	}); err == nil {
+		t.Error("nonexistent topology accepted")
+	}
+	if _, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-n", "400", "-topology", polPath})
+	}); err == nil {
+		t.Error("policy JSON accepted as a topology")
 	}
 }

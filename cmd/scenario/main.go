@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
@@ -36,6 +37,8 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 0, "override the spec's execution seed")
 	workers := fs.Int("workers", 0, "engine shards per round (0 = spec value or GOMAXPROCS; results are identical for any value)")
 	algo := fs.String("algo", "", "override the spec's algorithm (push, pull, push-pull)")
+	topology := fs.String("topology", "", "JSON topology spec attributing the nodes (sized to the spec's n)")
+	policyPath := fs.String("policy", "", "JSON peer-selection policy over the -topology attributes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +59,7 @@ func run(args []string) error {
 	if *algo != "" {
 		opts = append(opts, repro.WithAlgorithm(repro.Algorithm(*algo)))
 	}
+	opts = append(opts, cliutil.PolicyOptions(*topology, *policyPath)...)
 
 	rep, err := repro.Run(context.Background(), 0, opts...)
 	if err != nil {

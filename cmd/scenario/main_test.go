@@ -86,3 +86,52 @@ func TestRunRejectsBadInput(t *testing.T) {
 		t.Error("unknown algorithm override accepted")
 	}
 }
+
+// zoneSpec schedules a zone outage and heal, which need a -topology.
+const zoneSpec = `{
+  "name": "zones",
+  "n": 300,
+  "rounds": 20,
+  "algorithm": "push-pull",
+  "seed": 5,
+  "events": [
+    {"type": "inject", "round": 1, "node": 0, "rumor": 0},
+    {"type": "zone-outage", "round": 4, "zone": 1},
+    {"type": "zone-heal", "round": 9, "zone": 1}
+  ]
+}`
+
+// TestRunTopologyFlags runs a zone-outage scenario under -topology/-policy
+// and pins that zone events without a topology are rejected.
+func TestRunTopologyFlags(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	topoPath := filepath.Join(dir, "topo.json")
+	polPath := filepath.Join(dir, "policy.json")
+	for path, data := range map[string]string{
+		specPath: zoneSpec,
+		topoPath: `{"generator":"zones","zones":3}`,
+		polPath:  `{"mode":"permissive","weights":{"same_zone":2}}`,
+	} {
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-spec", specPath, "-topology", topoPath, "-policy", polPath})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, marker := range []string{"event @4: zone 1 outage", "event @9: zone 1 heals", "rumor 0 (injected round 1)"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q:\n%s", marker, out)
+		}
+	}
+
+	if _, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-spec", specPath})
+	}); err == nil {
+		t.Error("zone events without a topology accepted")
+	}
+}

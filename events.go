@@ -17,7 +17,9 @@ import (
 // are 1-based; an event at round r fires before any communication of round r.
 
 // TimelineEvent is one timeline entry. The concrete types are CrashAt,
-// JoinAt, LossAt, InjectRumor and CorruptAt; the interface is sealed.
+// JoinAt, LossAt, InjectRumor, CorruptAt and — on topology-attributed runs
+// (WithTopology) — ZoneOutageAt, ZoneHealAt, PartitionAt and HealPartitionAt;
+// the interface is sealed.
 type TimelineEvent interface {
 	// event converts to the internal representation (sealed).
 	event() (scenario.Event, error)
@@ -198,6 +200,14 @@ func fromScenarioEvents(evs []scenario.Event) []TimelineEvent {
 				Seed:     e.Adversary.Seed,
 				Victims:  e.Adversary.Victims,
 			})
+		case scenario.ZoneOutage:
+			out = append(out, ZoneOutageAt{At: e.At, Zone: e.Zone})
+		case scenario.ZoneHeal:
+			out = append(out, ZoneHealAt{At: e.At, Zone: e.Zone})
+		case scenario.Partition:
+			out = append(out, PartitionAt{At: e.At})
+		case scenario.HealPartition:
+			out = append(out, HealPartitionAt{At: e.At})
 		}
 	}
 	return out

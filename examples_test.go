@@ -25,6 +25,7 @@ var exampleRuns = map[string][]string{
 	"faulttolerance": {"-n", "3000"},
 	"livegossip":     {"-n", "800"},
 	"byzantine":      {"-n", "2000"},
+	"zones":          {"-n", "1500"},
 }
 
 func TestExamplesBuildAndRun(t *testing.T) {

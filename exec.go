@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/policy"
 	"repro/internal/run"
 	"repro/internal/scenario"
 )
@@ -49,6 +50,13 @@ func Run(ctx context.Context, n int, opts ...Option) (Report, error) {
 		n = s.specN
 	}
 	s.spec.N = n
+	if s.topoSpec != nil {
+		tab, err := s.topoSpec.Build(n)
+		if err != nil {
+			return Report{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+		s.spec.Topology = tab
+	}
 	for _, req := range s.adversaries {
 		ev, err := CorruptAt{
 			At:       1,
@@ -71,9 +79,10 @@ func Run(ctx context.Context, n int, opts ...Option) (Report, error) {
 // settings is the mutable state the options build up.
 type settings struct {
 	spec        run.Spec
-	specN       int            // network size fixed by a scenario spec (0: none)
-	adversaries []adversaryReq // WithAdversaries requests, resolved once n is known
-	err         error          // first option error
+	specN       int                  // network size fixed by a scenario spec (0: none)
+	adversaries []adversaryReq       // WithAdversaries requests, resolved once n is known
+	topoSpec    *policy.TopologySpec // WithTopologyFile spec, built once n is known
+	err         error                // first option error
 }
 
 // adversaryReq is one WithAdversaries request. The node choice needs the

@@ -41,6 +41,21 @@ func Seeds(count int) []uint64 {
 	return out
 }
 
+// PolicyOptions translates the -topology/-policy flag pair shared by
+// cmd/gossipsim and cmd/scenario into Run options: each non-empty path loads
+// the corresponding JSON spec (the topology is sized to the run's network
+// once n is known, so it composes with scenario specs that fix their own n).
+func PolicyOptions(topologyPath, policyPath string) []repro.Option {
+	var opts []repro.Option
+	if topologyPath != "" {
+		opts = append(opts, repro.WithTopologyFile(topologyPath))
+	}
+	if policyPath != "" {
+		opts = append(opts, repro.WithPolicyFile(policyPath))
+	}
+	return opts
+}
+
 // PrintResult writes the common complexity block every execution report
 // shares: population, informedness, rounds, traffic and the paper's Δ.
 func PrintResult(w io.Writer, res repro.Result) {

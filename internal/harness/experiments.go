@@ -60,7 +60,7 @@ func (t Table) Render() string {
 
 // ExperimentIDs lists the experiments in order.
 func ExperimentIDs() []string {
-	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E12"}
 }
 
 // RunExperiment dispatches an experiment by ID using the given sweep.
@@ -86,6 +86,8 @@ func RunExperiment(id string, cfg SweepConfig) (Table, error) {
 		return E9SimVsLive(cfg)
 	case "E10":
 		return E10Byzantine(cfg)
+	case "E12":
+		return E12Topologies(cfg)
 	default:
 		return Table{}, fmt.Errorf("harness: unknown experiment %q", id)
 	}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/phonecall"
+	"repro/internal/policy"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -69,6 +70,14 @@ type Options struct {
 	// observer seam (phonecall.Observe) — per-round streaming stats without
 	// changing results or metrics.
 	Observer phonecall.RoundObserver
+	// Topology attributes the nodes (zones, latency classes, capacities,
+	// reputations); Policy biases every random contact over those attributes
+	// through an installed policy.Selector. A topology without a policy
+	// changes nothing — the uniform contract stays bit-identical — but
+	// enables zone events and per-zone telemetry. A policy without a
+	// topology is a configuration error.
+	Topology *policy.Table
+	Policy   *policy.Policy
 	// Params tunes the paper's algorithms.
 	Params core.Params
 }
@@ -109,6 +118,9 @@ func runOnNetwork(ctx context.Context, net *phonecall.Network, algo Algorithm, o
 	if ctx != nil {
 		net.SetContext(ctx)
 		defer phonecall.RecoverAbort(&err)
+	}
+	if _, err := policy.Install(net, opts.Topology, opts.Policy); err != nil {
+		return trace.Result{}, fmt.Errorf("harness: %w", err)
 	}
 	if opts.Observer != nil {
 		if b, ok := opts.Observer.(phonecall.NetworkBinder); ok {

@@ -235,8 +235,8 @@ func TestExperimentE8SmallSweep(t *testing.T) {
 
 func TestExperimentIDsDispatch(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 10 {
-		t.Fatalf("want 10 experiments, got %v", ids)
+	if len(ids) != 11 {
+		t.Fatalf("want 11 experiments, got %v", ids)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/live"
 	"repro/internal/phonecall"
+	"repro/internal/policy"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -51,6 +52,12 @@ type LiveOptions struct {
 	// Stream.Total rumors through the bounded in-flight window instead of the
 	// timeline seeding rumor 0.
 	Stream *live.StreamConfig
+	// Topology and Policy configure free-running policy-driven peer selection
+	// (the free-running twin of Options.Topology/Options.Policy, which the
+	// lock-step path inherits through runOnNetwork). The compiled selector is
+	// installed as live.FreeRunConfig.PeerSelector.
+	Topology *policy.Table
+	Policy   *policy.Policy
 }
 
 // transport builds the configured transport.
@@ -137,12 +144,16 @@ func RunLockStep(ctx context.Context, algo Algorithm, n int, seed uint64, opts O
 // frontier passes them. A done ctx stops every node goroutine promptly and
 // returns the partial report with the context's error.
 func RunFreeRunning(ctx context.Context, n int, seed uint64, algo scenario.Algorithm, events []scenario.Event, lo LiveOptions) (live.Report, error) {
+	sel, err := policy.Compile(n, seed, lo.Topology, lo.Policy)
+	if err != nil {
+		return live.Report{}, fmt.Errorf("harness: %w", err)
+	}
 	tr, err := lo.transport(n, false)
 	if err != nil {
 		return live.Report{}, err
 	}
 	defer tr.Close()
-	fr, err := live.NewFreeRun(live.FreeRunConfig{
+	cfg := live.FreeRunConfig{
 		N:           n,
 		Seed:        seed,
 		Rounds:      lo.freeBudget(n),
@@ -154,7 +165,11 @@ func RunFreeRunning(ctx context.Context, n int, seed uint64, algo scenario.Algor
 		OnFrontier:  lo.OnFrontier,
 		Telemetry:   lo.Telemetry,
 		Stream:      lo.Stream,
-	})
+	}
+	if sel != nil { // a typed-nil *Selector must not shadow the uniform path
+		cfg.PeerSelector = sel
+	}
+	fr, err := live.NewFreeRun(cfg)
 	if err != nil {
 		return live.Report{}, err
 	}

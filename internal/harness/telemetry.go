@@ -2,6 +2,7 @@ package harness
 
 import (
 	"math/bits"
+	"strconv"
 	"time"
 
 	"repro/internal/phonecall"
@@ -26,6 +27,17 @@ import (
 //	repro_informed_nodes                 live nodes holding the worst-spread
 //	                                     rumor (rumor-tracking runs only)
 //	repro_round_duration_seconds         histogram of wall time per round
+//
+// Policy-driven runs (a peer selector installed on the network) add:
+//
+//	repro_policy_evaluations_total{algo,engine}  selector decisions
+//	repro_policy_violations_total{algo,engine}   decisions with no admissible
+//	                                             peer (failed call in enforce
+//	                                             mode, uniform fallback in
+//	                                             permissive)
+//	repro_zone_informed_nodes{zone}              live nodes per topology zone
+//	                                             holding every registered
+//	                                             rumor (rumor-tracking runs)
 type EngineTelemetry struct {
 	reg *telemetry.Registry
 
@@ -34,10 +46,29 @@ type EngineTelemetry struct {
 	maxComms               *telemetry.Gauge
 	informed               *telemetry.Gauge // created lazily on BindTracker
 	duration               *telemetry.Histogram
+	algo, engine           string
+
+	// Policy instrumentation, created lazily when the bound network carries a
+	// policy view. The selector's counters are cumulative, so EndRound feeds
+	// deltas against the last-seen values.
+	policySel             policyView
+	policyEvals           *telemetry.Counter
+	policyViolations      *telemetry.Counter
+	lastEvals, lastViolns int64
+	zoneInformed          []*telemetry.Gauge
+	zoneCounts            []int64
 
 	net     *phonecall.Network
 	tracker *phonecall.RumorTracker
 	begin   time.Time
+}
+
+// policyView is what the telemetry observer needs from an installed peer
+// selector; internal/policy.Selector implements it.
+type policyView interface {
+	Stats() (evaluations, violations int64)
+	Zones() int
+	Zone(i int) int
 }
 
 // NewEngineTelemetry resolves the instruments for one (algorithm, engine)
@@ -53,11 +84,25 @@ func NewEngineTelemetry(reg *telemetry.Registry, algo, engine string) *EngineTel
 		corrupted: reg.Gauge("repro_corrupted_nodes"),
 		maxComms:  reg.Gauge("repro_max_comms_per_round"),
 		duration:  reg.Histogram("repro_round_duration_seconds", nil),
+		algo:      algo,
+		engine:    engine,
 	}
 }
 
-// BindNetwork implements phonecall.NetworkBinder.
-func (e *EngineTelemetry) BindNetwork(net *phonecall.Network) { e.net = net }
+// BindNetwork implements phonecall.NetworkBinder. A policy-carrying peer
+// selector installed on the network (before observers are registered — the
+// order every driver follows) switches the policy series on.
+func (e *EngineTelemetry) BindNetwork(net *phonecall.Network) {
+	e.net = net
+	if pv, ok := net.PeerSelector().(policyView); ok {
+		e.policySel = pv
+		by := []telemetry.Label{{Key: "algo", Value: e.algo}, {Key: "engine", Value: e.engine}}
+		e.policyEvals = e.reg.Counter("repro_policy_evaluations_total", by...)
+		e.policyViolations = e.reg.Counter("repro_policy_violations_total", by...)
+		e.lastEvals, e.lastViolns = pv.Stats()
+	}
+	e.bindZones()
+}
 
 // BindTracker implements phonecall.TrackerBinder. Rumor-tracking drivers
 // (the scenario driver) bind their tracker, which turns on the
@@ -66,6 +111,22 @@ func (e *EngineTelemetry) BindNetwork(net *phonecall.Network) { e.net = net }
 func (e *EngineTelemetry) BindTracker(tr *phonecall.RumorTracker) {
 	e.tracker = tr
 	e.informed = e.reg.Gauge("repro_informed_nodes")
+	e.bindZones()
+}
+
+// bindZones registers the per-zone informed gauges once both a tracker and a
+// topology are bound (binder order is driver-dependent).
+func (e *EngineTelemetry) bindZones() {
+	if e.tracker == nil || e.policySel == nil || e.zoneInformed != nil {
+		return
+	}
+	zones := e.policySel.Zones()
+	e.zoneInformed = make([]*telemetry.Gauge, zones)
+	e.zoneCounts = make([]int64, zones)
+	for z := range e.zoneInformed {
+		e.zoneInformed[z] = e.reg.Gauge("repro_zone_informed_nodes",
+			telemetry.Label{Key: "zone", Value: strconv.Itoa(z)})
+	}
 }
 
 // BeginRound implements phonecall.RoundObserver (coordinator goroutine).
@@ -96,6 +157,28 @@ func (e *EngineTelemetry) EndRound(rep phonecall.RoundReport) {
 	}
 	if e.tracker != nil {
 		e.informed.Set(int64(WorstSpread(e.tracker)))
+	}
+	if e.policySel != nil {
+		evals, violns := e.policySel.Stats()
+		e.policyEvals.Add(evals - e.lastEvals)
+		e.policyViolations.Add(violns - e.lastViolns)
+		e.lastEvals, e.lastViolns = evals, violns
+	}
+	if e.zoneInformed != nil && e.net != nil {
+		reg := e.tracker.Registered()
+		for z := range e.zoneCounts {
+			e.zoneCounts[z] = 0
+		}
+		if reg != 0 {
+			for i, n := 0, e.net.N(); i < n; i++ {
+				if !e.net.IsFailed(i) && e.tracker.Held(i)&reg == reg {
+					e.zoneCounts[e.policySel.Zone(i)]++
+				}
+			}
+		}
+		for z, g := range e.zoneInformed {
+			g.Set(e.zoneCounts[z])
+		}
 	}
 }
 

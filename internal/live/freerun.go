@@ -52,6 +52,14 @@ type FreeRunConfig struct {
 	// Transport carries the frames; nil gets a private zero-delay channel
 	// mesh. Lossy and delaying transports are the point of this mode.
 	Transport Transport
+	// PeerSelector, when non-nil, replaces the uniform random-contact hash
+	// with a policy-driven one (internal/policy.Selector) — each node's
+	// random contact for its local round r is then the selector's answer for
+	// (r, node). A selector that declines (no admissible peer) makes the
+	// node sit the round out silently: the free-running engine only charges
+	// calls it actually sends. Zone and partition timeline events require a
+	// selector that carries a topology.
+	PeerSelector phonecall.PeerSelector
 	// OnFrontier, when non-nil, is invoked from the monitor goroutine every
 	// time the round frontier advances, with the monitor's population view —
 	// the free-running analogue of a per-round observer. There is no global
@@ -299,6 +307,14 @@ func NewFreeRun(cfg FreeRunConfig) (*FreeRun, error) {
 	if err := scenario.ValidateEvents(cfg.N, cfg.Stream != nil, cfg.Events); err != nil {
 		return nil, fmt.Errorf("live: %w", err)
 	}
+	if _, ok := cfg.PeerSelector.(frTopology); !ok {
+		for _, ev := range cfg.Events {
+			switch ev.(type) {
+			case scenario.ZoneOutage, scenario.ZoneHeal, scenario.Partition, scenario.HealPartition:
+				return nil, fmt.Errorf("live: %w: %s needs a topology-carrying peer selector", scenario.ErrSpec, ev.Describe())
+			}
+		}
+	}
 	stream := cfg.Stream
 	if stream != nil {
 		for _, ev := range cfg.Events {
@@ -321,6 +337,9 @@ func NewFreeRun(cfg FreeRunConfig) (*FreeRun, error) {
 	net, err := phonecall.New(phonecall.Config{N: cfg.N, Seed: cfg.Seed, PayloadBits: cfg.PayloadBits, Workers: 1})
 	if err != nil {
 		return nil, fmt.Errorf("live: %w", err)
+	}
+	if cfg.PeerSelector != nil {
+		net.SetPeerSelector(cfg.PeerSelector)
 	}
 	tr := cfg.Transport
 	own := false
@@ -759,9 +778,42 @@ func (fr *FreeRun) apply(ev scenario.Event, frontier int64) {
 			}
 			fr.behav[i].Store(&frBehavior{b: b})
 		}
+	case scenario.ZoneOutage:
+		if tv, ok := fr.net.PeerSelector().(frTopology); ok && e.Zone >= 0 && e.Zone < tv.Zones() {
+			fr.apply(scenario.CrashAt{At: e.At, Nodes: tv.ZoneMembers(e.Zone)}, frontier)
+		} else {
+			fr.ignored++ // NewFreeRun rejects zone events without a topology
+		}
+	case scenario.ZoneHeal:
+		if tv, ok := fr.net.PeerSelector().(frTopology); ok && e.Zone >= 0 && e.Zone < tv.Zones() {
+			fr.apply(scenario.JoinAt{At: e.At, Nodes: tv.ZoneMembers(e.Zone)}, frontier)
+		} else {
+			fr.ignored++
+		}
+	case scenario.Partition:
+		if tv, ok := fr.net.PeerSelector().(frTopology); ok {
+			tv.SetPartitioned(true)
+		} else {
+			fr.ignored++
+		}
+	case scenario.HealPartition:
+		if tv, ok := fr.net.PeerSelector().(frTopology); ok {
+			tv.SetPartitioned(false)
+		} else {
+			fr.ignored++
+		}
 	default:
 		fr.ignored++
 	}
+}
+
+// frTopology is what zone and partition events need from the installed peer
+// selector (internal/policy.Selector implements it); declared locally so the
+// live engine stays decoupled from the policy compiler.
+type frTopology interface {
+	ZoneMembers(zone int) []int
+	Zones() int
+	SetPartitioned(part bool)
 }
 
 // mergeHeld ORs mask into node i's holdings.
@@ -903,9 +955,12 @@ func (fr *FreeRun) doRound(i, r int, drain [][]byte) [][]byte {
 			it = phonecall.ExchangeIntent(phonecall.RandomTarget(), phonecall.Message{})
 		}
 	}
-	j := phonecall.RandomPeer(fr.cfg.N, fr.cfg.Seed, r, i)
+	j, jok := fr.net.RandomContact(r, i)
 	resolve := func(t phonecall.Target) int {
 		if t.Random {
+			if !jok {
+				return -1 // policy admits no peer: the node sits this round out
+			}
 			return j
 		}
 		if idx, ok := fr.net.IndexOf(t.ID); ok && idx != i {
@@ -1037,14 +1092,17 @@ func (fr *FreeRun) doRoundStream(i, r int, drain [][]byte) [][]byte {
 	// The same intent shape as the steppable protocols' wide path: push stays
 	// silent with nothing to offer, pull stays silent while the node already
 	// holds everything active, push-pull always makes its call.
-	j := phonecall.RandomPeer(fr.cfg.N, fr.cfg.Seed, r, i)
-	switch fr.algo {
-	case scenario.AlgoPush:
+	j, jok := fr.net.RandomContact(r, i)
+	switch {
+	case !jok:
+		// Policy admits no peer: the node sits this round out silently (the
+		// free-running engine charges only calls it actually sends).
+	case fr.algo == scenario.AlgoPush:
 		if len(held) > 0 {
 			sendSummary(j, held, false)
 			comms++
 		}
-	case scenario.AlgoPull:
+	case fr.algo == scenario.AlgoPull:
 		if len(held) != active || active == 0 {
 			sendPull(j)
 			comms++

@@ -281,7 +281,10 @@ func (ls *LockStep) doCalls(nd *lsNode, round int) {
 	// nowhere by the model's rules.
 	j, resolved := -1, false
 	if it.Target.Random {
-		j, resolved = phonecall.RandomPeer(ls.n, net.Seed(), round, i), true
+		j, resolved = net.RandomContact(round, i)
+		if !resolved {
+			j = -1 // policy admits no peer: charged below, never sent
+		}
 	} else if it.Target.ID != phonecall.NoNode {
 		if jj, ok := net.IndexOf(it.Target.ID); ok && jj != i {
 			j, resolved = jj, true

@@ -263,8 +263,11 @@ func (c *Checker) EndRound(rep phonecall.RoundReport) {
 		}
 	}
 
-	// Replay the observed intents through the model definition.
-	s := newSpecRound(roundEnv{
+	// Replay the observed intents through the model definition. An installed
+	// peer selector is part of the network's contract, so the replay resolves
+	// random targets through it too (the selector is a pure function of
+	// (round, initiator) during the round — re-asking it is safe).
+	env := roundEnv{
 		N:           n,
 		Round:       c.round,
 		Seed:        c.net.Seed(),
@@ -275,7 +278,11 @@ func (c *Checker) EndRound(rep phonecall.RoundReport) {
 		IndexOf:     c.net.IndexOf,
 		MessageBits: c.net.MessageSize,
 		ControlBits: c.net.ControlBits(),
-	})
+	}
+	if sel := c.net.PeerSelector(); sel != nil {
+		env.SelectPeer = sel.SelectPeer
+	}
+	s := newSpecRound(env)
 	for i := 0; i < n; i++ {
 		if !c.net.IsFailed(i) && c.intentSeen[i].Load() > 0 {
 			s.addIntent(i, c.intents[i])

@@ -48,10 +48,11 @@ type Oracle struct {
 	index  map[phonecall.NodeID]int
 	failed map[int]bool
 
-	round    int
-	lossRate float64
-	lossSeed uint64
-	hook     func(round int)
+	round      int
+	lossRate   float64
+	lossSeed   uint64
+	hook       func(round int)
+	selectPeer func(round, i int) (int, bool)
 
 	messages int64
 	control  int64
@@ -166,6 +167,13 @@ func (o *Oracle) LossRate() float64 { return o.lossRate }
 // before any intent is evaluated. A nil hook unregisters.
 func (o *Oracle) OnRoundStart(hook func(round int)) { o.hook = hook }
 
+// SetSelectPeer installs a policy-driven random-contact resolver, the
+// reference twin of phonecall.Network.SetPeerSelector: every random target
+// from the next round on is sel's answer for (round, initiator), and ok=false
+// charges the initiator without reaching anybody. A nil sel restores the
+// uniform contract. Like Fail and SetLoss, only call between rounds.
+func (o *Oracle) SetSelectPeer(sel func(round, i int) (int, bool)) { o.selectPeer = sel }
+
 // MessageSize returns the size in bits of a message under the paper's
 // accounting rules.
 func (o *Oracle) MessageSize(m phonecall.Message) int {
@@ -209,6 +217,7 @@ func (o *Oracle) env() roundEnv {
 			return o.MessageSize(m)
 		},
 		ControlBits: o.ControlBits(),
+		SelectPeer:  o.selectPeer,
 	}
 }
 

@@ -45,6 +45,12 @@ type roundEnv struct {
 	// a pull request.
 	MessageBits func(m phonecall.Message) int
 	ControlBits int
+	// SelectPeer, when non-nil, replaces the uniform random-target contract
+	// with a policy-driven one — the model twin of an installed
+	// phonecall.PeerSelector. ok=false means no admissible peer: the call is
+	// charged to the initiator but reaches nobody, exactly like an
+	// unresolvable direct target.
+	SelectPeer func(round, i int) (int, bool)
 }
 
 // specCall is one node's evaluated communication for the round.
@@ -106,6 +112,9 @@ func (s *specRound) randomTarget(i int) int {
 // IDs absent from the directory do not resolve.
 func (s *specRound) resolve(i int, t phonecall.Target) (int, bool) {
 	if t.Random {
+		if s.env.SelectPeer != nil {
+			return s.env.SelectPeer(s.env.Round, i)
+		}
 		return s.randomTarget(i), true
 	}
 	if t.ID == phonecall.NoNode {

@@ -99,7 +99,6 @@ func (net *Network) behaviorCallbacks(
 ) (func(i int) Intent, func(i int) (Message, bool)) {
 	behaviors := net.behaviors
 	round := net.round
-	n, seed := net.n, net.cfg.Seed
 	index := net.index
 	wrappedIntent := func(i int) Intent {
 		it := intentOf(i)
@@ -110,7 +109,9 @@ func (net *Network) behaviorCallbacks(
 		target := -1
 		if it.Kind != None {
 			if it.Target.Random {
-				target = RandomPeer(n, seed, round, i)
+				if j, ok := net.RandomContact(round, i); ok {
+					target = j
+				}
 			} else if j, ok := index.get(it.Target.ID); ok && j != i {
 				target = j
 			}

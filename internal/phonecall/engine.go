@@ -352,6 +352,8 @@ func (net *Network) passIntents(w, lo, hi int) {
 	st := &net.wstats[w]
 	intentOf := net.curIntent
 	sent := net.metrics.MessagesSent
+	sel := net.selector
+	round := net.round
 
 	for i := lo; i < hi; i++ {
 		if net.failed[i] {
@@ -366,7 +368,11 @@ func (net *Network) passIntents(w, lo, hi int) {
 		var j int
 		var ok bool
 		if it.Target.Random {
-			j, ok = net.resolveRandom(i), true
+			if sel != nil {
+				j, ok = sel.SelectPeer(round, i)
+			} else {
+				j, ok = net.resolveRandom(i), true
+			}
 		} else {
 			j, ok = net.resolveTarget(i, it.Target)
 		}

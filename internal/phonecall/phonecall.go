@@ -250,6 +250,10 @@ type Network struct {
 	// (SetExecutor; see executor.go).
 	executor RoundExecutor
 
+	// selector, when set, replaces the uniform random-target contract
+	// (SetPeerSelector; see peersel.go).
+	selector PeerSelector
+
 	// behaviors, when allocated, holds the per-node Byzantine behaviors
 	// (SetBehavior; see behavior.go). nil until the first behavior is
 	// installed, so honest runs skip the seam entirely. corrupted counts
@@ -492,6 +496,9 @@ func (net *Network) dropCall(initiator int) bool {
 // resolveTarget maps a target to a node index.
 func (net *Network) resolveTarget(initiator int, t Target) (int, bool) {
 	if t.Random {
+		if net.selector != nil {
+			return net.selector.SelectPeer(net.round, initiator)
+		}
 		net.refreshRoundMix()
 		return net.resolveRandom(initiator), true
 	}

@@ -1,0 +1,198 @@
+package policy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Mode decides what happens when a policy leaves an initiator with no
+// admissible peer.
+type Mode string
+
+const (
+	// ModeEnforce treats an empty candidate set as a failed call: the
+	// initiator is charged for the attempt (exactly like a call to an
+	// unresolvable direct target) and nothing is delivered.
+	ModeEnforce Mode = "enforce"
+	// ModePermissive falls back to the uniform contract
+	// (phonecall.RandomPeer) when no peer is admissible, prioritizing
+	// liveness over constraints. The fallback is counted as a violation.
+	ModePermissive Mode = "permissive"
+)
+
+// Rules are the hard constraints: a candidate failing any rule gets slot
+// multiplicity zero, regardless of weights.
+type Rules struct {
+	// SameZoneOnly admits only peers in the initiator's zone.
+	SameZoneOnly bool `json:"same_zone_only,omitempty"`
+	// MaxLatencyDistance caps |initiator.Latency - peer.Latency|; 0 means
+	// unlimited.
+	MaxLatencyDistance int `json:"max_latency_distance,omitempty"`
+	// MinReputation excludes peers below the threshold.
+	MinReputation int `json:"min_reputation,omitempty"`
+	// MinCapacity excludes peers below the threshold.
+	MinCapacity int `json:"min_capacity,omitempty"`
+	// DenyZones excludes peers in the listed zones.
+	DenyZones []int `json:"deny_zones,omitempty"`
+}
+
+// Weights are the soft preferences. Every admissible peer scores
+//
+//	1 + SameZone·[same zone] + Latency·(255-dist)/255
+//	  + Capacity·cap/255 + Reputation·rep/255
+//
+// and is selected with probability proportional to its score. All weights
+// zero (with no rules) reproduces the uniform distribution.
+type Weights struct {
+	SameZone   float64 `json:"same_zone,omitempty"`
+	Latency    float64 `json:"latency,omitempty"`
+	Capacity   float64 `json:"capacity,omitempty"`
+	Reputation float64 `json:"reputation,omitempty"`
+}
+
+// Policy is a complete peer-selection policy: hard constraints, soft
+// weights, and the empty-candidate mode.
+type Policy struct {
+	Mode    Mode    `json:"mode,omitempty"` // defaults to enforce
+	Rules   Rules   `json:"rules,omitempty"`
+	Weights Weights `json:"weights,omitempty"`
+}
+
+// MaxWeight bounds each soft weight; together with the scoreScale quantum it
+// keeps every compiled slot count far below overflow for any network size
+// the engines accept.
+const MaxWeight = 1 << 20
+
+// Validate checks ranges and normalizes the zero mode to enforce.
+func (p *Policy) Validate() error {
+	switch p.Mode {
+	case "":
+		p.Mode = ModeEnforce
+	case ModeEnforce, ModePermissive:
+	default:
+		return fmt.Errorf("%w: mode %q (want %q or %q)", ErrSpec, p.Mode, ModeEnforce, ModePermissive)
+	}
+	for _, w := range []struct {
+		name string
+		v    float64
+	}{
+		{"same_zone", p.Weights.SameZone},
+		{"latency", p.Weights.Latency},
+		{"capacity", p.Weights.Capacity},
+		{"reputation", p.Weights.Reputation},
+	} {
+		if math.IsNaN(w.v) || w.v < 0 || w.v > MaxWeight {
+			return fmt.Errorf("%w: weight %s = %v outside [0,%d]", ErrSpec, w.name, w.v, MaxWeight)
+		}
+	}
+	if p.Rules.MaxLatencyDistance < 0 || p.Rules.MaxLatencyDistance > 255 {
+		return fmt.Errorf("%w: max_latency_distance %d outside [0,255]", ErrSpec, p.Rules.MaxLatencyDistance)
+	}
+	if p.Rules.MinReputation < 0 || p.Rules.MinReputation > 255 {
+		return fmt.Errorf("%w: min_reputation %d outside [0,255]", ErrSpec, p.Rules.MinReputation)
+	}
+	if p.Rules.MinCapacity < 0 || p.Rules.MinCapacity > 255 {
+		return fmt.Errorf("%w: min_capacity %d outside [0,255]", ErrSpec, p.Rules.MinCapacity)
+	}
+	for _, z := range p.Rules.DenyZones {
+		if z < 0 || z >= MaxZones {
+			return fmt.Errorf("%w: deny zone %d outside [0,%d)", ErrSpec, z, MaxZones)
+		}
+	}
+	return nil
+}
+
+// ParsePolicy decodes and validates a JSON policy, rejecting unknown fields.
+func ParsePolicy(data []byte) (*Policy, error) {
+	var p Policy
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("%w: policy: %v", ErrSpec, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// LoadPolicy reads, parses and validates a JSON policy file.
+func LoadPolicy(path string) (*Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := ParsePolicy(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// admits reports whether the hard constraints admit a peer with attributes b
+// for an initiator with attributes a.
+func (r Rules) admits(a, b Attrs) bool {
+	if r.SameZoneOnly && a.Zone != b.Zone {
+		return false
+	}
+	if r.MaxLatencyDistance > 0 && latencyDist(a, b) > r.MaxLatencyDistance {
+		return false
+	}
+	if int(b.Reputation) < r.MinReputation {
+		return false
+	}
+	if int(b.Capacity) < r.MinCapacity {
+		return false
+	}
+	for _, z := range r.DenyZones {
+		if b.Zone == z {
+			return false
+		}
+	}
+	return true
+}
+
+func latencyDist(a, b Attrs) int {
+	d := int(a.Latency) - int(b.Latency)
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// scoreScale quantizes scores into integer slot multiplicities: one score
+// unit is 1024 slots, so a passing peer always owns at least 1024 slots and
+// relative weights survive rounding to better than 0.1%.
+const scoreScale = 1024
+
+// slots returns the compiled slot multiplicity of a peer with attributes b
+// for an initiator with attributes a: 0 when the hard constraints reject it,
+// round(score·1024) otherwise. Float arithmetic happens only here, at
+// compile time; the selection hot path is all-integer.
+func (p *Policy) slots(a, b Attrs) int64 {
+	if !p.Rules.admits(a, b) {
+		return 0
+	}
+	score := 1.0
+	if p.Weights.SameZone > 0 && a.Zone == b.Zone {
+		score += p.Weights.SameZone
+	}
+	if p.Weights.Latency > 0 {
+		score += p.Weights.Latency * float64(255-min(255, latencyDist(a, b))) / 255
+	}
+	if p.Weights.Capacity > 0 {
+		score += p.Weights.Capacity * float64(b.Capacity) / 255
+	}
+	if p.Weights.Reputation > 0 {
+		score += p.Weights.Reputation * float64(b.Reputation) / 255
+	}
+	return int64(math.Round(score * scoreScale))
+}
+
+// uniformPolicy is the implicit policy of a topology configured without one:
+// no constraints, no weights — every peer at the base multiplicity. It makes
+// the partitioned plan well-defined even when no explicit policy is set.
+var uniformPolicy = Policy{Mode: ModeEnforce}

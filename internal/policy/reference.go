@@ -1,0 +1,113 @@
+package policy
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/phonecall"
+	"repro/internal/rng"
+)
+
+// ReferenceSelect is the naive re-implementation of the selection contract,
+// deliberately sharing no compiled state or scoring code with Selector: it
+// re-sorts the candidate list and re-derives every slot count on every call,
+// walking the virtual slot array linearly instead of via grouped prefix
+// sums. The oracle's differential harness (FuzzPolicyVsOracle) runs the
+// engines with a Selector and the reference with this function and demands
+// bit-identical executions, so the two implementations pin each other.
+func ReferenceSelect(t *Table, pol *Policy, partitioned bool, seed uint64, round, initiator int) (int, bool) {
+	if pol == nil && !partitioned {
+		return phonecall.RandomPeer(t.Len(), seed, round, initiator), true
+	}
+	eff := uniformPolicy
+	if pol != nil {
+		eff = *pol
+	}
+	if eff.Mode == "" {
+		eff.Mode = ModeEnforce
+	}
+
+	// The contract's slot order, flattened: every node sorted by its
+	// attribute tuple (lexicographic) with index as tiebreaker — exactly
+	// "groups in order, members ascending".
+	order := make([]int, t.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		a, b := t.Attrs(order[x]), t.Attrs(order[y])
+		if a != b {
+			return groupLess(a, b)
+		}
+		return order[x] < order[y]
+	})
+
+	a := t.Attrs(initiator)
+	slotsOf := func(j int) int64 {
+		b := t.Attrs(j)
+		if partitioned && a.Zone != b.Zone {
+			return 0
+		}
+		if eff.Rules.SameZoneOnly && a.Zone != b.Zone {
+			return 0
+		}
+		dist := int(a.Latency) - int(b.Latency)
+		if dist < 0 {
+			dist = -dist
+		}
+		if eff.Rules.MaxLatencyDistance > 0 && dist > eff.Rules.MaxLatencyDistance {
+			return 0
+		}
+		if int(b.Reputation) < eff.Rules.MinReputation || int(b.Capacity) < eff.Rules.MinCapacity {
+			return 0
+		}
+		for _, z := range eff.Rules.DenyZones {
+			if b.Zone == z {
+				return 0
+			}
+		}
+		score := 1.0
+		if eff.Weights.SameZone > 0 && a.Zone == b.Zone {
+			score += eff.Weights.SameZone
+		}
+		if eff.Weights.Latency > 0 {
+			if dist > 255 {
+				dist = 255
+			}
+			score += eff.Weights.Latency * float64(255-dist) / 255
+		}
+		if eff.Weights.Capacity > 0 {
+			score += eff.Weights.Capacity * float64(b.Capacity) / 255
+		}
+		if eff.Weights.Reputation > 0 {
+			score += eff.Weights.Reputation * float64(b.Reputation) / 255
+		}
+		return int64(math.Round(score * 1024))
+	}
+
+	var w int64
+	for _, j := range order {
+		if j != initiator {
+			w += slotsOf(j)
+		}
+	}
+	if w <= 0 {
+		if eff.Mode == ModePermissive {
+			return phonecall.RandomPeer(t.Len(), seed, round, initiator), true
+		}
+		return 0, false
+	}
+	r := int64(rng.Bounded(rng.Mix(seed, selectorTag, uint64(round), uint64(initiator)), uint64(w)))
+	for _, j := range order {
+		if j == initiator {
+			continue
+		}
+		q := slotsOf(j)
+		if r < q {
+			return j, true
+		}
+		r -= q
+	}
+	// Unreachable: r < w and the slot counts above sum to w.
+	return 0, false
+}

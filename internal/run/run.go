@@ -32,6 +32,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/live"
 	"repro/internal/phonecall"
+	"repro/internal/policy"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -125,9 +126,20 @@ type Spec struct {
 	LossRate float64
 	LossSeed uint64
 
-	// Events is a scenario timeline (crash, join, loss, inject, corrupt)
-	// applied as the rounds execute. A timeline that injects at least one
-	// rumor selects the steppable multi-rumor driver; Rounds is its budget.
+	// Topology attributes the nodes with zones, latency classes, capacities
+	// and reputations (policy.ZoneTable, policy.WanLanTable or a JSON spec);
+	// Policy biases every random contact over those attributes through a
+	// compiled policy selector, identically on every engine. A topology
+	// without a policy changes nothing — the uniform contract stays
+	// bit-identical — but enables zone/partition timeline events and per-zone
+	// telemetry. A policy without a topology is a configuration error.
+	Topology *policy.Table
+	Policy   *policy.Policy
+
+	// Events is a scenario timeline (crash, join, loss, inject, corrupt,
+	// zone-outage, zone-heal, partition, heal) applied as the rounds execute.
+	// A timeline that injects at least one rumor selects the steppable
+	// multi-rumor driver; Rounds is its budget.
 	Events []scenario.Event
 	// Rounds is the explicit round budget for multi-rumor and free-running
 	// workloads (closed algorithms terminate on their own).
@@ -355,10 +367,57 @@ func (s Spec) Validate() error {
 	if s.MaxInFlight < 0 {
 		return invalidf("negative MaxInFlight %d", s.MaxInFlight)
 	}
+	if err := s.validatePolicy(); err != nil {
+		return err
+	}
 	if err := s.validateEvents(); err != nil {
 		return err
 	}
 	return s.validateEngine()
+}
+
+// validatePolicy checks the topology/policy pair and the zone-event
+// prerequisites at the boundary, so misconfigurations surface as
+// ErrInvalidConfig here instead of ErrSpec deep inside an engine.
+func (s Spec) validatePolicy() error {
+	if s.Policy != nil {
+		if s.Topology == nil {
+			return invalidf("a Policy needs a Topology")
+		}
+		p := *s.Policy // Validate normalizes the mode; don't mutate the caller's policy
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+		}
+	}
+	if s.Topology != nil && s.Topology.Len() != s.N {
+		return invalidf("Topology describes %d nodes for N=%d", s.Topology.Len(), s.N)
+	}
+	checkZone := func(ev scenario.Event, zone int) error {
+		if s.Topology == nil {
+			return invalidf("%s needs a Topology", ev.Describe())
+		}
+		if zone < 0 || zone >= s.Topology.Zones() {
+			return invalidf("%s outside the topology's %d zones", ev.Describe(), s.Topology.Zones())
+		}
+		return nil
+	}
+	for _, ev := range s.Events {
+		var err error
+		switch e := ev.(type) {
+		case scenario.ZoneOutage:
+			err = checkZone(e, e.Zone)
+		case scenario.ZoneHeal:
+			err = checkZone(e, e.Zone)
+		case scenario.Partition, scenario.HealPartition:
+			if s.Topology == nil {
+				err = invalidf("%s needs a Topology", ev.Describe())
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // validateEvents checks every timeline event against the network size and
@@ -512,6 +571,8 @@ func (s Spec) harnessOptions() harness.Options {
 		LossRate:    s.LossRate,
 		LossSeed:    s.LossSeed,
 		Observer:    s.tap.engineObserver(),
+		Topology:    s.Topology,
+		Policy:      s.Policy,
 	}
 	return opts
 }
@@ -575,6 +636,8 @@ func (scenarioRunner) Run(ctx context.Context, spec Spec) (Outcome, error) {
 		PayloadBits: spec.PayloadBits,
 		Workers:     spec.Workers,
 		Observer:    spec.tap.engineObserver(),
+		Topology:    spec.Topology,
+		Policy:      spec.Policy,
 	}
 	res, err := scenario.Run(ctx, sc, cfg)
 	if err != nil {
@@ -653,6 +716,8 @@ func (freeRunner) Run(ctx context.Context, spec Spec) (Outcome, error) {
 		PayloadBits: spec.PayloadBits,
 		OnFrontier:  spec.tap.onFrontier(),
 		Telemetry:   spec.Telemetry,
+		Topology:    spec.Topology,
+		Policy:      spec.Policy,
 	}
 	if spec.StreamTotal > 0 {
 		lo.Stream = &live.StreamConfig{

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/failure"
 	"repro/internal/phonecall"
+	"repro/internal/policy"
 )
 
 // Event is one timeline entry. An event with EventRound() == r is applied at
@@ -294,6 +295,14 @@ func ValidateEvents(n int, wide bool, events []Event) error {
 			if !wide && e.Rumor >= phonecall.MaxRumors {
 				return fmt.Errorf("%w: rumor id %d outside the bitmask range [0,%d) (wide rumor-set runs lift the cap)", ErrSpec, e.Rumor, phonecall.MaxRumors)
 			}
+		case ZoneOutage:
+			if e.Zone < 0 {
+				return fmt.Errorf("%w: zone outage at round %d: negative zone %d", ErrSpec, e.At, e.Zone)
+			}
+		case ZoneHeal:
+			if e.Zone < 0 {
+				return fmt.Errorf("%w: zone heal at round %d: negative zone %d", ErrSpec, e.At, e.Zone)
+			}
 		case CorruptAt:
 			if wide {
 				return fmt.Errorf("%w: corrupt at round %d: byzantine behaviors need the ≤%d-rumor bitmask path", ErrSpec, e.At, phonecall.MaxRumors)
@@ -390,6 +399,14 @@ type Config struct {
 	// observer seam (phonecall.Observe) — per-round streaming stats without
 	// changing results.
 	Observer phonecall.RoundObserver
+	// Topology, when non-nil, attributes the nodes (zones, latency classes,
+	// capacity, reputation) and enables zone/partition events. Its length
+	// must equal the scenario's N.
+	Topology *policy.Table
+	// Policy, when non-nil, biases random contacts over the topology (hard
+	// constraints + weighted scoring). Requires Topology. Nil with a
+	// topology keeps selection uniform, bit-identical to no topology at all.
+	Policy *policy.Policy
 }
 
 // RumorCount is a per-rumor live-informed count inside a phase report.
@@ -500,6 +517,9 @@ func Run(ctx context.Context, sc Scenario, cfg Config) (res Result, err error) {
 		Workers:     workers,
 	})
 	if err != nil {
+		return Result{}, fmt.Errorf("scenario: %w", err)
+	}
+	if _, err := policy.Install(net, cfg.Topology, cfg.Policy); err != nil {
 		return Result{}, fmt.Errorf("scenario: %w", err)
 	}
 	if ctx != nil {

@@ -57,6 +57,8 @@ type Spec struct {
 //	corrupt       — nodes or count + pick_seed, behavior (liar, spammer,
 //	                eclipse, stale), plus rate + seed (spammer/liar) and
 //	                victims (eclipse)
+//	zone-outage / zone-heal — zone (needs a topology)
+//	partition / heal        — no extra fields (needs a topology)
 type EventSpec struct {
 	Type     string  `json:"type"`
 	Round    int     `json:"round"`
@@ -69,6 +71,7 @@ type EventSpec struct {
 	Seed     uint64  `json:"seed,omitempty"`
 	Behavior string  `json:"behavior,omitempty"`
 	Victims  []int   `json:"victims,omitempty"`
+	Zone     int     `json:"zone,omitempty"`
 }
 
 // GeneratorSpec is one JSON generator invocation, expanded into events when
@@ -182,8 +185,16 @@ func (es EventSpec) event(n int) (Event, error) {
 			return nil, fmt.Errorf("%w: rumor id %d outside the uint32 id space", ErrSpec, es.Rumor)
 		}
 		return InjectRumor{At: es.Round, Node: es.Node, Rumor: phonecall.RumorID(es.Rumor)}, nil
+	case "zone-outage":
+		return ZoneOutage{At: es.Round, Zone: es.Zone}, nil
+	case "zone-heal":
+		return ZoneHeal{At: es.Round, Zone: es.Zone}, nil
+	case "partition":
+		return Partition{At: es.Round}, nil
+	case "heal":
+		return HealPartition{At: es.Round}, nil
 	default:
-		return nil, fmt.Errorf("%w: unknown event type %q (have crash, join, loss, inject, corrupt)", ErrSpec, es.Type)
+		return nil, fmt.Errorf("%w: unknown event type %q (have crash, join, loss, inject, corrupt, zone-outage, zone-heal, partition, heal)", ErrSpec, es.Type)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/phonecall"
+	"repro/internal/policy"
 	"repro/internal/rumorset"
 )
 
@@ -155,6 +156,31 @@ func applyWide(ev Event, net *phonecall.Network, set *rumorset.Set) error {
 		if err := set.Inject(e.Node, rumorset.ID(e.Rumor)); err != nil {
 			return fmt.Errorf("scenario: round %d: %w", e.EventRound(), err)
 		}
+	case ZoneOutage:
+		tv, err := topology(net, "zone outage")
+		if err != nil {
+			return err
+		}
+		if e.Zone < 0 || e.Zone >= tv.Zones() {
+			return fmt.Errorf("scenario: zone %d outside the topology's [0,%d)", e.Zone, tv.Zones())
+		}
+		members := tv.ZoneMembers(e.Zone)
+		set.Fail(members...)
+		net.Fail(members...)
+	case ZoneHeal:
+		tv, err := topology(net, "zone heal")
+		if err != nil {
+			return err
+		}
+		if e.Zone < 0 || e.Zone >= tv.Zones() {
+			return fmt.Errorf("scenario: zone %d outside the topology's [0,%d)", e.Zone, tv.Zones())
+		}
+		members := tv.ZoneMembers(e.Zone)
+		set.Revive(members...)
+		net.Revive(members...)
+	case Partition, HealPartition:
+		// Pure selector toggles; the ledger is untouched.
+		return ev.Apply(net, nil)
 	default:
 		// Validate rejects everything else (CorruptAt) on the wide path.
 		return fmt.Errorf("%w: event %T unsupported on the wide rumor-set path", ErrSpec, ev)
@@ -190,6 +216,9 @@ func runWide(ctx context.Context, sc Scenario, cfg Config, algo Algorithm, worke
 		Workers:     workers,
 	})
 	if err != nil {
+		return Result{}, fmt.Errorf("scenario: %w", err)
+	}
+	if _, err := policy.Install(net, cfg.Topology, cfg.Policy); err != nil {
 		return Result{}, fmt.Errorf("scenario: %w", err)
 	}
 	set, err := rumorset.New(sc.N, window)

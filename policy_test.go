@@ -1,0 +1,201 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// testPolicy is the zoned policy the determinism tests run under: same-zone
+// preference with a latency cap, enough bias to change selection everywhere.
+func testPolicy() Policy {
+	return Policy{
+		Rules:   PolicyRules{MaxLatencyDistance: 200},
+		Weights: PolicyWeights{SameZone: 4, Capacity: 1},
+	}
+}
+
+// TestPolicyDeterministicAcrossWorkers requires policy-driven runs to be
+// bit-identical for any engine shard count — the same guarantee the uniform
+// contract has, extended to the policy selector (exercised under -race in CI).
+func TestPolicyDeterministicAcrossWorkers(t *testing.T) {
+	const n = 6000
+	topo, err := WanLanTopology(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWith := func(workers int) Report {
+		t.Helper()
+		rep, err := Run(context.Background(), n,
+			WithAlgorithm(AlgoCluster2),
+			WithSeed(42),
+			WithWorkers(workers),
+			WithTopology(topo),
+			WithPolicy(testPolicy()),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	ref := runWith(1)
+	if ref.Informed == 0 {
+		t.Fatalf("reference run informed nobody: %+v", ref.Result)
+	}
+	for _, workers := range []int{2, 8} {
+		if rep := runWith(workers); !reflect.DeepEqual(ref.Result, rep.Result) {
+			t.Errorf("workers=%d: policy-driven results differ:\n  1: %+v\n  %d: %+v",
+				workers, ref.Result, workers, rep.Result)
+		}
+	}
+}
+
+// TestPolicySimVsLockStep requires the policy-driven simulator and lock-step
+// engines to stay bit-identical (the internal/live conformance guarantee,
+// extended to the policy selector).
+func TestPolicySimVsLockStep(t *testing.T) {
+	const n = 1500
+	topo, err := ZonedTopology(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []Option{
+		WithAlgorithm(AlgoCluster2), WithSeed(9),
+		WithTopology(topo), WithPolicy(testPolicy()),
+	}
+	sim, err := Run(context.Background(), n, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := Run(context.Background(), n, append(opts, OnLockStep(TransportChannel))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sim.Result, ls.Result) {
+		t.Fatalf("sim and lock-step diverge under policy:\n%+v\n%+v", sim.Result, ls.Result)
+	}
+}
+
+// TestTopologyAloneChangesNothing locks the pass-through guarantee at the
+// facade: attributing nodes without a policy leaves every result byte-
+// identical to the plain uniform run — the golden lock that the selector seam
+// cannot drift the no-policy path.
+func TestTopologyAloneChangesNothing(t *testing.T) {
+	const n = 3000
+	plain, err := Run(context.Background(), n, WithAlgorithm(AlgoCluster2), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := WanLanTopology(n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attributed, err := Run(context.Background(), n,
+		WithAlgorithm(AlgoCluster2), WithSeed(7), WithTopology(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Result, attributed.Result) {
+		t.Fatalf("a topology without a policy changed the execution:\n%+v\n%+v",
+			plain.Result, attributed.Result)
+	}
+}
+
+// TestZoneOutageTimeline runs a zone outage plus heal under a zoned policy
+// and requires the broadcast to still complete on every live node.
+func TestZoneOutageTimeline(t *testing.T) {
+	const n = 900
+	topo, err := ZonedTopology(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), n,
+		WithAlgorithm(AlgoCluster2),
+		WithSeed(4),
+		WithTopology(topo),
+		WithPolicy(Policy{Mode: PolicyPermissive, Weights: PolicyWeights{SameZone: 2}}),
+		WithTimeline(ZoneOutageAt{At: 3, Zone: 2}, ZoneHealAt{At: 8, Zone: 2}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Live != n {
+		t.Fatalf("healed run has %d live nodes, want %d", rep.Live, n)
+	}
+	if !rep.AllInformed {
+		t.Fatalf("broadcast did not complete after zone heal: %+v", rep.Result)
+	}
+}
+
+// TestPolicyOptionValidation exercises the facade's typed-error boundary for
+// the topology surface.
+func TestPolicyOptionValidation(t *testing.T) {
+	topo, err := ZonedTopology(100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		n    int
+		opts []Option
+	}{
+		{"policy without topology", 100, []Option{WithPolicy(testPolicy())}},
+		{"empty topology", 100, []Option{WithTopology(Topology{})}},
+		{"topology size mismatch", 200, []Option{WithTopology(topo)}},
+		{"zone event without topology", 100, []Option{
+			WithTimeline(ZoneOutageAt{At: 2, Zone: 0})}},
+		{"partition without topology", 100, []Option{
+			WithTimeline(PartitionAt{At: 2})}},
+		{"zone outside topology", 100, []Option{
+			WithTopology(topo), WithTimeline(ZoneHealAt{At: 2, Zone: 9})}},
+		{"bad policy mode", 100, []Option{
+			WithTopology(topo), WithPolicy(Policy{Mode: "strict"})}},
+		{"negative weight", 100, []Option{
+			WithTopology(topo), WithPolicy(Policy{Weights: PolicyWeights{SameZone: -1}})}},
+		{"missing policy file", 100, []Option{
+			WithTopology(topo), WithPolicyFile("/nonexistent/policy.json")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Run(context.Background(), tc.n, tc.opts...); !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("err = %v, want ErrInvalidConfig", err)
+			}
+		})
+	}
+}
+
+// TestTopologyAndPolicyFiles round-trips the JSON surfaces through the
+// facade's file options.
+func TestTopologyAndPolicyFiles(t *testing.T) {
+	dir := t.TempDir()
+	topoPath := filepath.Join(dir, "topo.json")
+	polPath := filepath.Join(dir, "policy.json")
+	if err := os.WriteFile(topoPath, []byte(`{"generator":"zones","zones":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(polPath, []byte(`{"mode":"permissive","weights":{"same_zone":3}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := TopologyFromFile(topoPath, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Len() != 300 || topo.Zones() != 3 || len(topo.ZoneNodes(0)) != 100 {
+		t.Fatalf("loaded topology: len=%d zones=%d", topo.Len(), topo.Zones())
+	}
+	rep, err := Run(context.Background(), 300,
+		WithAlgorithm(AlgoCluster2), WithSeed(1),
+		WithTopology(topo), WithPolicyFile(polPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllInformed {
+		t.Fatalf("file-configured run did not complete: %+v", rep.Result)
+	}
+	if _, err := TopologyFromFile(polPath, 300); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("policy file accepted as a topology: %v", err)
+	}
+}

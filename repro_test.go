@@ -156,8 +156,8 @@ func TestExperimentTable(t *testing.T) {
 	if _, err := Experiment("E4", []int{1000}, []uint64{1}, WithSeed(9)); !errors.Is(err, ErrInvalidConfig) {
 		t.Fatalf("non-sweep option silently ignored by Experiment (err=%v)", err)
 	}
-	if len(ExperimentIDs()) != 10 {
-		t.Fatal("want 10 experiment ids")
+	if len(ExperimentIDs()) != 11 {
+		t.Fatal("want 11 experiment ids")
 	}
 }
 
