@@ -1,0 +1,17 @@
+# Builds the gossipnode binary — one gossip node per container, discovering
+# its peers through the Kademlia-style membership layer (no shared node list,
+# no volume mounts; the only cross-container knowledge is the seed's address).
+# docker-compose.yml wires five of these into the bootstrap-and-converge
+# smoke deployment.
+FROM golang:1.24-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -o /out/gossipnode ./cmd/gossipnode
+
+FROM alpine:3.20
+COPY --from=build /out/gossipnode /usr/local/bin/gossipnode
+# 4001/udp carries both membership RPCs and gossip frames (one socket, demuxed
+# by frame type); 9700/tcp is the optional /metrics endpoint.
+EXPOSE 4001/udp 9700/tcp
+ENTRYPOINT ["gossipnode"]

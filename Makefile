@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test race bench smoke-procs smoke-compose compose-down
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+# Engine + membership hot-path benchmarks -> BENCH_engine.json (the committed
+# perf baseline; BENCH_TRAJECTORY.md tracks the history).
+bench:
+	$(GO) run ./cmd/benchtab -json -benchn 50000
+
+# Five gossipnode processes on loopback: bootstrap through the seed's address
+# alone, converge the injected rumor, all exit 0.
+smoke-procs:
+	sh scripts/smoke_procs.sh
+
+# The same deployment shape across real container boundaries: five containers
+# on the compose network, peers reached by announced DNS names, every
+# container must exit 0 with a convergence report.
+smoke-compose:
+	sh scripts/smoke_compose.sh
+
+compose-down:
+	docker compose down --remove-orphans

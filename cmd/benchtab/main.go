@@ -1,10 +1,10 @@
 // Command benchtab regenerates the reproduction tables E1–E10 recorded in
 // EXPERIMENTS.md (one table per claim of the paper, plus the E8 dynamic
 // churn sweep and the E9 sim-vs-live comparison; see DESIGN.md §4), and with
-// -json benchmarks the simulator
-// engine itself — the static round engine and the dynamic scenario path —
-// and emits a machine readable BENCH_engine.json so the perf trajectory can
-// be tracked across changes.
+// -json benchmarks the hot paths — the static round engine, the dynamic
+// scenario path, policy-weighted peer selection, and the membership layer's
+// routing-table read and RPC round trip — and emits a machine readable
+// BENCH_engine.json so the perf trajectory can be tracked across changes.
 //
 // Example:
 //
@@ -28,6 +28,7 @@ import (
 	"repro"
 	"repro/internal/cliutil"
 	"repro/internal/harness"
+	"repro/internal/membership"
 	"repro/internal/policy"
 	"repro/internal/telemetry"
 )
@@ -133,9 +134,10 @@ func printTrajectoryRow(path string) error {
 		}
 		return fmt.Sprintf("%.0f", ns)
 	}
-	fmt.Printf("| %s | %s | %s | %s | %s | %s | ci run |\n",
+	fmt.Printf("| %s | %s | %s | %s | %s | %s | %s | %s | ci run |\n",
 		time.Now().UTC().Format("2006-01-02"), commit,
-		cell("EngineRound"), cell("BroadcastCluster2"), cell("ScenarioChurn"), cell("PolicySelect"))
+		cell("EngineRound"), cell("BroadcastCluster2"), cell("ScenarioChurn"),
+		cell("PolicySelect"), cell("RoutingLookup"), cell("MembershipRPC"))
 	return nil
 }
 
@@ -277,6 +279,73 @@ func benchPolicySelect(n int) (float64, error) {
 	return float64(time.Since(start).Nanoseconds()) / ops, nil
 }
 
+// benchRoutingLookup times Table.Closest over a well-populated routing table
+// — the hot read on the FIND_NODE answer path and the seed of every iterative
+// lookup (the same workload as BenchmarkRoutingLookup in internal/membership,
+// so the JSON trajectory stays comparable to the Go benchmark numbers).
+// Returns ns/op and the table population.
+func benchRoutingLookup() (float64, int, error) {
+	self := membership.ID(0x0123_4567_89ab_cdef)
+	tab := membership.NewTable(self, membership.DefaultK)
+	for bi := 4; bi < 64; bi++ {
+		for lo := uint64(0); lo < 8 && lo < 1<<uint(bi); lo++ {
+			id := self ^ (1 << uint(bi)) ^ membership.ID(lo)
+			if self.BucketIndex(id) == bi {
+				tab.Update(membership.Contact{ID: id, Addr: fmt.Sprintf("10.0.%d.%d:4000", bi, lo)})
+			}
+		}
+	}
+	if tab.Len() < 200 {
+		return 0, 0, fmt.Errorf("routing bench table too small: %d contacts", tab.Len())
+	}
+	targets := make([]membership.ID, 256)
+	for i := range targets {
+		targets[i] = self ^ membership.ID(i*0x9e37_79b9)
+	}
+	const ops = 1 << 13
+	for i := 0; i < ops/8; i++ { // warm-up, untimed
+		tab.Closest(targets[i%len(targets)], membership.DefaultK)
+	}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if len(tab.Closest(targets[i%len(targets)], membership.DefaultK)) == 0 {
+			return 0, 0, fmt.Errorf("empty lookup")
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / ops, tab.Len(), nil
+}
+
+// benchMembershipRPC times one full PING/PONG round trip over loopback UDP —
+// encode, send, demux, decode, handle, reply, correlate: the unit cost of a
+// liveness probe and of each lookup hop (the same workload as
+// BenchmarkMembershipRPC in internal/membership).
+func benchMembershipRPC() (float64, error) {
+	a, err := membership.New(membership.Config{Self: 1, RPCTimeout: time.Second})
+	if err != nil {
+		return 0, err
+	}
+	defer a.Close()
+	peer, err := membership.New(membership.Config{Self: 2, RPCTimeout: time.Second})
+	if err != nil {
+		return 0, err
+	}
+	defer peer.Close()
+	addr := peer.Self().Addr
+	const ops = 4096
+	for i := 0; i < ops/8; i++ { // warm-up, untimed
+		if _, err := a.Ping(addr); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if _, err := a.Ping(addr); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / ops, nil
+}
+
 // runEngineBench benchmarks the round engine and the main algorithm and
 // writes the results as JSON, so future changes can track the perf
 // trajectory (ns/op for EngineRound and BroadcastCluster2). workers > 0
@@ -328,6 +397,20 @@ func runEngineBench(n, workers int, out string) error {
 	}
 	report.Results = append(report.Results, engineBenchResult{
 		Name: "PolicySelect", N: n, NsPerOp: ns,
+	})
+	ns, tableLen, err := benchRoutingLookup()
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, engineBenchResult{
+		Name: "RoutingLookup", N: tableLen, NsPerOp: ns,
+	})
+	ns, err = benchMembershipRPC()
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, engineBenchResult{
+		Name: "MembershipRPC", N: 2, NsPerOp: ns,
 	})
 
 	data, err := json.MarshalIndent(report, "", "  ")

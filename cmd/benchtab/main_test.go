@@ -53,7 +53,10 @@ func TestRunEngineBenchJSON(t *testing.T) {
 			t.Errorf("%s has non-positive ns/op", r.Name)
 		}
 	}
-	for _, want := range []string{"EngineRound", "BroadcastCluster2", "ScenarioChurn"} {
+	for _, want := range []string{
+		"EngineRound", "BroadcastCluster2", "ScenarioChurn",
+		"PolicySelect", "RoutingLookup", "MembershipRPC",
+	} {
 		if !names[want] {
 			t.Errorf("report missing %q: %v", want, names)
 		}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// freeUDPPorts reserves count distinct loopback UDP ports and releases them
+// (the tiny reuse race is acceptable in a test).
+func freeUDPPorts(t *testing.T, count int) []int {
+	t.Helper()
+	conns := make([]*net.UDPConn, count)
+	ports := make([]int, count)
+	for i := range conns {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		ports[i] = c.LocalAddr().(*net.UDPAddr).Port
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return ports
+}
+
+// TestDeploymentConverges drives five full gossipnode stacks — separate
+// sockets, separate routing tables, nothing shared but flags — through the
+// same run() the binary executes. Four join through the seed's address alone;
+// all five must converge the rumor injected at node 0 and exit cleanly.
+func TestDeploymentConverges(t *testing.T) {
+	const n = 5
+	ports := freeUDPPorts(t, n)
+	seedAddr := fmt.Sprintf("127.0.0.1:%d", ports[0])
+
+	outs := make([]*os.File, n)
+	paths := make([]string, n)
+	for i := range outs {
+		f, err := os.CreateTemp(t.TempDir(), "gossipnode-*.log")
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[i], paths[i] = f, f.Name()
+	}
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		// Processes start in arbitrary order (a joiner's first ping can race
+		// the seed's bind and be lost), so the RPC timeout is short — a lost
+		// bootstrap cycle costs ~150ms — and the quiet window is long enough
+		// (500 rounds × 2ms = 1s) that the deployment outlives the recovery.
+		args := []string{
+			"-n", fmt.Sprint(n),
+			"-index", fmt.Sprint(i),
+			"-seed", "7",
+			"-bind", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-interval", "2ms",
+			"-linger", "500",
+			"-rounds", "5000",
+			"-rpc-timeout", "50ms",
+		}
+		if i == 0 {
+			args = append(args, "-inject", "1")
+		} else {
+			args = append(args, "-bootstrap", seedAddr)
+		}
+		wg.Add(1)
+		go func(i int, args []string) {
+			defer wg.Done()
+			errs[i] = run(args, outs[i])
+		}(i, args)
+	}
+	wg.Wait()
+
+	failed := false
+	for i := 0; i < n; i++ {
+		outs[i].Close()
+		log, _ := os.ReadFile(paths[i])
+		if errs[i] != nil {
+			t.Errorf("node %d: %v", i, errs[i])
+			failed = true
+			continue
+		}
+		if !strings.Contains(string(log), "converged          YES") {
+			t.Errorf("node %d report lacks convergence", i)
+			failed = true
+		}
+	}
+	if failed {
+		for i := 0; i < n; i++ {
+			log, _ := os.ReadFile(paths[i])
+			t.Logf("---- node %d ----\n%s", i, log)
+		}
+	}
+}
+
+// TestBudgetExhaustedPrintsReportThenFails pins the exit contract: a node
+// that cannot converge (it is the only process of a 2-node deployment and
+// holds nothing) still prints its full report, and run() returns the
+// budget-exhausted error afterwards.
+func TestBudgetExhaustedPrintsReportThenFails(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "gossipnode-*.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ports := freeUDPPorts(t, 1)
+	err = run([]string{
+		"-n", "2", "-index", "0",
+		"-bind", fmt.Sprintf("127.0.0.1:%d", ports[0]),
+		"-rounds", "5", "-interval", "1ms",
+	}, f)
+	if err == nil || !strings.Contains(err.Error(), "convergence budget exhausted") {
+		t.Fatalf("err = %v, want budget-exhausted", err)
+	}
+	log, _ := os.ReadFile(f.Name())
+	for _, want := range []string{"converged          NO", "messages", "wall time"} {
+		if !strings.Contains(string(log), want) {
+			t.Errorf("report missing %q before the error:\n%s", want, log)
+		}
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	for _, args := range [][]string{
+		{},                         // no -n
+		{"-n", "5"},                // no -index
+		{"-n", "5", "-index", "9"}, // index out of range
+		{"-n", "1", "-index", "0"}, // mesh too small
+		{"-n", "5", "-index", "0", "-expect", "0"}, // empty expectation
+	} {
+		if err := run(args, devnull); err == nil {
+			t.Errorf("run(%v) accepted invalid flags", args)
+		}
+	}
+}

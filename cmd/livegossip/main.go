@@ -274,6 +274,12 @@ func runFree(a freeArgs) error {
 	if rep.IgnoredEvents > 0 {
 		fmt.Printf("warning            %d timeline event(s) not honored by this transport\n", rep.IgnoredEvents)
 	}
+	// The partial report above always prints in full; only after it is on
+	// stdout does a blown round budget turn into a nonzero exit.
+	if !rep.AllInformed {
+		return fmt.Errorf("convergence budget exhausted: %d/%d live nodes informed after %d local rounds",
+			rep.Informed, rep.Live, rep.Rounds)
+	}
 	return nil
 }
 

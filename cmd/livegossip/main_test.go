@@ -48,6 +48,25 @@ func TestRunFreeSmoke(t *testing.T) {
 	}
 }
 
+// TestRunFreeBudgetExhaustedPrintsReportThenFails pins the exit contract: a
+// free run whose round budget cannot reach convergence still prints its full
+// partial report, and run() returns a budget-exhausted error afterwards.
+func TestRunFreeBudgetExhaustedPrintsReportThenFails(t *testing.T) {
+	out, err := testutil.CaptureStdout(t, func() error {
+		return run([]string{"-mode", "free", "-n", "400", "-rounds", "2", "-seed", "2"})
+	})
+	if err == nil || !strings.Contains(err.Error(), "convergence budget exhausted") {
+		t.Fatalf("err = %v, want budget-exhausted", err)
+	}
+	for _, marker := range []string{
+		"converged          NO:", "messages", "frame drops", "wall time",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("partial report missing %q before the error:\n%s", marker, out)
+		}
+	}
+}
+
 // TestRunFreeFromSpec drives churn and rumor injection from a JSON scenario
 // spec.
 func TestRunFreeFromSpec(t *testing.T) {

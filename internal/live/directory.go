@@ -1,0 +1,62 @@
+package live
+
+import (
+	"fmt"
+	"net"
+)
+
+// Directory maps a dense node index onto a transport address. It is the seam
+// between "who do I want to reach" (the engines speak indexes) and "where do
+// they live" (sockets speak addresses). The in-process UDP mesh keeps a
+// trivial static directory — every address is known at construction, exactly
+// the old behavior — while a multi-process deployment plugs in a routing
+// table that discovers addresses at runtime.
+//
+// Resolve may be called concurrently with itself and with directory updates.
+// A miss is not an error: datagram transports drop the frame (gossip
+// tolerates loss by design) and the directory's owner is expected to kick off
+// discovery so a later round hits.
+type Directory interface {
+	// Resolve returns node i's current transport address, or false while it is
+	// unknown.
+	Resolve(i int) (*net.UDPAddr, bool)
+}
+
+// StaticDirectory is the complete-knowledge Directory: a fixed index→address
+// table. It never misses inside its range. This is the in-process mesh's
+// directory — and the contrast that defines the decentralized one: a
+// StaticDirectory is exactly the shared global node table a real deployment
+// cannot have.
+type StaticDirectory struct {
+	addrs []*net.UDPAddr
+}
+
+// NewStaticDirectory builds a directory over a fixed address table. The slice
+// is retained; the caller must not mutate it afterwards.
+func NewStaticDirectory(addrs []*net.UDPAddr) *StaticDirectory {
+	return &StaticDirectory{addrs: addrs}
+}
+
+// Resolve implements Directory.
+func (d *StaticDirectory) Resolve(i int) (*net.UDPAddr, bool) {
+	if i < 0 || i >= len(d.addrs) {
+		return nil, false
+	}
+	return d.addrs[i], true
+}
+
+// Len returns the table size.
+func (d *StaticDirectory) Len() int { return len(d.addrs) }
+
+var _ Directory = (*StaticDirectory)(nil)
+
+// validateDirectory checks a directory covers indexes [0, n) at construction
+// time where completeness is required (the in-process mesh).
+func validateDirectory(d Directory, n int) error {
+	for i := 0; i < n; i++ {
+		if _, ok := d.Resolve(i); !ok {
+			return fmt.Errorf("live: directory has no address for node %d", i)
+		}
+	}
+	return nil
+}

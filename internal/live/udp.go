@@ -16,18 +16,30 @@ const maxUDPFrame = 60 * 1024
 // near the default file-descriptor limit helps nobody.
 const maxUDPNodes = 512
 
+// udpArenaChunk sizes the read loop's scratch arena. One chunk serves many
+// received frames (frames are small relative to the chunk), so the per-
+// receive allocation cost is amortized to near zero.
+const udpArenaChunk = 64 * 1024
+
 // UDPTransport exchanges wire frames over per-node UDP sockets on the
 // loopback interface. It is the "real wire" transport: frames are serialized
 // through the same codec as the channel mesh but cross the kernel's network
 // stack, so delivery is asynchronous and — under socket-buffer pressure —
 // lossy. Free-running mode only (Synchronous returns false); the gossip
 // protocols tolerate both properties by design.
+//
+// Destination addresses go through the Directory seam: the in-process mesh
+// resolves against its own static bind table (complete by construction), but
+// the same send path serves a directory that can miss — a miss drops the
+// frame and counts it, the datagram analogue of "host unknown".
 type UDPTransport struct {
 	n         int
 	conns     []*net.UDPConn
 	addrs     []*net.UDPAddr
+	dir       Directory
 	boxes     []*Mailbox
 	oversize  atomic.Int64
+	misses    atomic.Int64
 	sendFails []atomic.Int64 // per-sender write failures
 	failTotal atomic.Int64
 	closed    atomic.Bool
@@ -36,7 +48,8 @@ type UDPTransport struct {
 }
 
 // NewUDPTransport binds n loopback sockets (ephemeral ports) and starts one
-// reader goroutine per node.
+// reader goroutine per node. The transport directs frames through a static
+// directory of its own bound addresses.
 func NewUDPTransport(n int) (*UDPTransport, error) {
 	if err := validateN(n); err != nil {
 		return nil, err
@@ -61,6 +74,7 @@ func NewUDPTransport(n int) (*UDPTransport, error) {
 		tr.addrs[i] = conn.LocalAddr().(*net.UDPAddr)
 		tr.boxes[i] = newMailbox()
 	}
+	tr.dir = NewStaticDirectory(tr.addrs)
 	for i := 0; i < n; i++ {
 		tr.wg.Add(1)
 		go tr.read(i)
@@ -68,16 +82,29 @@ func NewUDPTransport(n int) (*UDPTransport, error) {
 	return tr, nil
 }
 
-// read pumps node i's socket into its mailbox until the socket closes.
+// read pumps node i's socket into its mailbox until the socket closes. Each
+// received frame is copied out of a shared arena chunk rather than freshly
+// allocated: ReadFromUDPAddrPort keeps the kernel round trip allocation-free
+// (no *net.UDPAddr per packet) and the arena amortizes the frame copies, so
+// the steady-state receive path performs ~zero allocations per datagram
+// (BenchmarkUDPReceive locks this in).
 func (tr *UDPTransport) read(i int) {
 	defer tr.wg.Done()
 	buf := make([]byte, maxUDPFrame+1)
+	var arena []byte
 	for {
-		k, _, err := tr.conns[i].ReadFromUDP(buf)
+		k, _, err := tr.conns[i].ReadFromUDPAddrPort(buf)
 		if err != nil {
 			return // closed
 		}
-		frame := make([]byte, k)
+		if k > maxUDPFrame {
+			continue // cannot be one of ours; Send never emits above the bound
+		}
+		if len(arena) < k {
+			arena = make([]byte, udpArenaChunk)
+		}
+		frame := arena[:k:k]
+		arena = arena[k:]
 		copy(frame, buf[:k])
 		tr.boxes[i].Put(frame)
 	}
@@ -96,6 +123,10 @@ func (tr *UDPTransport) Synchronous() bool { return false }
 // Oversize returns the number of frames dropped for exceeding one datagram.
 func (tr *UDPTransport) Oversize() int64 { return tr.oversize.Load() }
 
+// Misses returns the number of frames dropped because the directory had no
+// address for the destination. Always zero on the static in-process mesh.
+func (tr *UDPTransport) Misses() int64 { return tr.misses.Load() }
+
 // SendFailures returns the total number of frames the kernel refused to
 // accept (WriteToUDP errors) across all senders. A nonzero count under
 // normal operation points at socket-buffer pressure or teardown races —
@@ -113,11 +144,15 @@ func (tr *UDPTransport) NodeSendFailures(i int) int64 {
 // Addr returns node i's bound loopback address (for diagnostics).
 func (tr *UDPTransport) Addr(i int) *net.UDPAddr { return tr.addrs[i] }
 
+// Directory returns the transport's directory.
+func (tr *UDPTransport) Directory() Directory { return tr.dir }
+
 // Send implements Transport: one frame, one datagram. Write errors drop the
 // frame, exactly like the wire would — but they are counted per sender, not
-// silently discarded. The read lock keeps Close from pulling the socket away
-// mid-write: a Send racing Close either completes against an open socket or
-// observes closed and returns.
+// silently discarded. The destination address comes from the directory; a
+// resolution miss drops and counts too. The read lock keeps Close from
+// pulling the socket away mid-write: a Send racing Close either completes
+// against an open socket or observes closed and returns.
 func (tr *UDPTransport) Send(from, to int, frame []byte) {
 	if from < 0 || from >= tr.n || to < 0 || to >= tr.n {
 		return
@@ -126,12 +161,17 @@ func (tr *UDPTransport) Send(from, to int, frame []byte) {
 		tr.oversize.Add(1)
 		return
 	}
+	addr, ok := tr.dir.Resolve(to)
+	if !ok {
+		tr.misses.Add(1)
+		return
+	}
 	tr.mu.RLock()
 	defer tr.mu.RUnlock()
 	if tr.closed.Load() {
 		return
 	}
-	if _, err := tr.conns[from].WriteToUDP(frame, tr.addrs[to]); err != nil {
+	if _, err := tr.conns[from].WriteToUDP(frame, addr); err != nil {
 		tr.sendFails[from].Add(1)
 		tr.failTotal.Add(1)
 	}

@@ -106,6 +106,32 @@ func TestUDPSendFailuresSurfacedInReport(t *testing.T) {
 	}
 }
 
+// BenchmarkUDPReceive measures the read loop's steady state: one datagram
+// sent, received and drained per iteration. The receive path copies each
+// frame out of a shared arena chunk (no per-packet allocation) and reads via
+// ReadFromUDPAddrPort (no per-packet *UDPAddr) — allocs/op stays well below 1
+// because the only allocations left are the amortized arena chunks.
+func BenchmarkUDPReceive(b *testing.B) {
+	tr, err := NewUDPTransport(2)
+	if err != nil {
+		b.Skipf("udp unavailable: %v", err)
+	}
+	defer tr.Close()
+	msg := phonecall.Message{Tag: 111, Value: 0xff, Bits: 256}
+	frame := appendCallFrame(nil, 1, 0, true, true, &msg)
+	var drain [][]byte
+	box := tr.Mailbox(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Send(0, 1, frame)
+		for box.Len() == 0 {
+			<-box.Notify()
+		}
+		drain = box.TryDrain(drain[:0])
+	}
+}
+
 // TestUDPSendAfterClose pins the teardown contract: Sends racing or following
 // Close neither panic nor write to a torn-down socket, and they are not
 // counted as kernel write failures (the transport was closed, not failing).

@@ -1,0 +1,65 @@
+package membership
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkRoutingLookup measures Table.Closest over a well-populated table —
+// the operation on the FIND_NODE answer path and the seed of every iterative
+// lookup. It is the routing table's hot read.
+func BenchmarkRoutingLookup(b *testing.B) {
+	self := ID(0x0123_4567_89ab_cdef)
+	tab := NewTable(self, DefaultK)
+	n := 0
+	for bi := 4; bi < 64; bi++ {
+		for lo := uint64(0); lo < 8 && lo < (1<<uint(bi)); lo++ {
+			if c := contactIn(self, bi, lo); tab.self.BucketIndex(c.ID) == bi {
+				tab.Update(c)
+				n++
+			}
+		}
+	}
+	if tab.Len() < 200 {
+		b.Fatalf("table too small for a meaningful benchmark: %d", tab.Len())
+	}
+	targets := make([]ID, 256)
+	for i := range targets {
+		targets[i] = self ^ ID(i*0x9e37_79b9)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := tab.Closest(targets[i%len(targets)], DefaultK)
+		if len(got) == 0 {
+			b.Fatal("empty lookup")
+		}
+	}
+}
+
+// BenchmarkMembershipRPC measures one full PING/PONG round trip over loopback
+// UDP: encode, send, demux, decode, handle, reply, correlate. This is the unit
+// cost of liveness probing and of each lookup hop.
+func BenchmarkMembershipRPC(b *testing.B) {
+	a, err := New(Config{Self: 1, RPCTimeout: time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	peer, err := New(Config{Self: 2, RPCTimeout: time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer peer.Close()
+	addr := peer.Self().Addr
+	if _, err := a.Ping(addr); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Ping(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package membership
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The membership wire codec. One datagram is one frame:
+//
+//	[type:1][msgid:8 LE][from id:8 LE][from addr len:uvarint][from addr]…
+//
+// followed by the type-specific body:
+//
+//	PING, PONG    — nothing (liveness only)
+//	FIND_NODE     — [target id:8 LE]
+//	FOUND_NODES   — [target id:8 LE][count:uvarint][contact…]
+//
+// where contact is [id:8 LE][addr len:uvarint][addr]. Every frame carries the
+// sender's full Contact (ID + announce address), so any received frame —
+// request or response — is routing-table evidence; MsgID correlates a
+// response with the inflight request that caused it (requests draw fresh IDs,
+// responses echo them).
+//
+// Type bytes live in 0x81..0x84: disjoint from the gossip codec's frame types
+// (internal/live frameCall=1, frameResp=2), so membership RPCs and gossip
+// frames can share one bound socket and be demultiplexed on the first byte
+// (IsMembershipFrame).
+//
+// Decoding is strict — truncated frames, oversized addresses, oversized
+// contact lists and trailing bytes are all errors, never best-effort
+// acceptance (locked by FuzzMembershipCodec).
+const (
+	TypePing       byte = 0x81
+	TypePong       byte = 0x82
+	TypeFindNode   byte = 0x83
+	TypeFoundNodes byte = 0x84
+)
+
+// MaxContacts bounds a FOUND_NODES contact list: responders never return more
+// than k contacts, and a decoder must not allocate on behalf of a hostile
+// length prefix.
+const MaxContacts = 64
+
+// Frame is one decoded membership frame. Target and Contacts are meaningful
+// for the find-node pair only.
+type Frame struct {
+	Type     byte
+	MsgID    uint64
+	From     Contact
+	Target   ID
+	Contacts []Contact
+}
+
+// IsMembershipFrame reports whether data is a membership frame by type byte —
+// the demultiplexer for transports that share a socket between membership
+// RPCs and gossip traffic.
+func IsMembershipFrame(data []byte) bool {
+	return len(data) > 0 && data[0] >= TypePing && data[0] <= TypeFoundNodes
+}
+
+// appendContact encodes one contact.
+func appendContact(dst []byte, c Contact) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(c.ID))
+	dst = binary.AppendUvarint(dst, uint64(len(c.Addr)))
+	return append(dst, c.Addr...)
+}
+
+// AppendFrame encodes fr. The caller is responsible for fr being well-formed
+// (valid contacts, ≤ MaxContacts); Encode-side violations are programming
+// errors surfaced by the decoder's strictness in tests.
+func AppendFrame(dst []byte, fr Frame) []byte {
+	dst = append(dst, fr.Type)
+	dst = binary.LittleEndian.AppendUint64(dst, fr.MsgID)
+	dst = appendContact(dst, fr.From)
+	switch fr.Type {
+	case TypeFindNode:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(fr.Target))
+	case TypeFoundNodes:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(fr.Target))
+		dst = binary.AppendUvarint(dst, uint64(len(fr.Contacts)))
+		for _, c := range fr.Contacts {
+			dst = appendContact(dst, c)
+		}
+	}
+	return dst
+}
+
+// decodeContact decodes one contact, returning the bytes consumed.
+func decodeContact(data []byte) (Contact, int, error) {
+	var c Contact
+	if len(data) < 8 {
+		return c, 0, fmt.Errorf("membership: truncated contact id")
+	}
+	c.ID = ID(binary.LittleEndian.Uint64(data))
+	rest := data[8:]
+	alen, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return c, 0, fmt.Errorf("membership: bad contact address length")
+	}
+	if alen == 0 || alen > maxAddrLen {
+		return c, 0, fmt.Errorf("membership: contact address length %d out of range [1, %d]", alen, maxAddrLen)
+	}
+	rest = rest[k:]
+	if uint64(len(rest)) < alen {
+		return c, 0, fmt.Errorf("membership: truncated contact address (%d of %d bytes)", len(rest), alen)
+	}
+	c.Addr = string(rest[:alen])
+	return c, 8 + k + int(alen), nil
+}
+
+// DecodeFrame decodes one membership frame, rejecting anything malformed:
+// unknown types, truncation anywhere, out-of-range lengths, trailing bytes.
+func DecodeFrame(data []byte) (Frame, error) {
+	var fr Frame
+	if len(data) < 1 {
+		return fr, fmt.Errorf("membership: empty frame")
+	}
+	fr.Type = data[0]
+	if !IsMembershipFrame(data) {
+		return fr, fmt.Errorf("membership: unknown frame type %#02x", fr.Type)
+	}
+	rest := data[1:]
+	if len(rest) < 8 {
+		return fr, fmt.Errorf("membership: truncated msgid")
+	}
+	fr.MsgID = binary.LittleEndian.Uint64(rest)
+	rest = rest[8:]
+	from, k, err := decodeContact(rest)
+	if err != nil {
+		return fr, err
+	}
+	fr.From = from
+	rest = rest[k:]
+	switch fr.Type {
+	case TypePing, TypePong:
+		// body-free
+	case TypeFindNode, TypeFoundNodes:
+		if len(rest) < 8 {
+			return fr, fmt.Errorf("membership: truncated target id")
+		}
+		fr.Target = ID(binary.LittleEndian.Uint64(rest))
+		rest = rest[8:]
+		if fr.Type == TypeFoundNodes {
+			count, k := binary.Uvarint(rest)
+			if k <= 0 {
+				return fr, fmt.Errorf("membership: bad contact count")
+			}
+			if count > MaxContacts {
+				return fr, fmt.Errorf("membership: contact count %d exceeds %d", count, MaxContacts)
+			}
+			rest = rest[k:]
+			if count > 0 {
+				fr.Contacts = make([]Contact, 0, count)
+				for i := uint64(0); i < count; i++ {
+					c, k, err := decodeContact(rest)
+					if err != nil {
+						return fr, fmt.Errorf("membership: contact %d: %w", i, err)
+					}
+					fr.Contacts = append(fr.Contacts, c)
+					rest = rest[k:]
+				}
+			}
+		}
+	}
+	if len(rest) != 0 {
+		return fr, fmt.Errorf("membership: %d trailing bytes", len(rest))
+	}
+	return fr, nil
+}

@@ -1,0 +1,102 @@
+package membership
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleFrames() []Frame {
+	from := Contact{ID: 0xdead_beef_0000_0001, Addr: "node1:4001"}
+	return []Frame{
+		{Type: TypePing, MsgID: 1, From: from},
+		{Type: TypePong, MsgID: 0xffff_ffff_ffff_ffff, From: from},
+		{Type: TypeFindNode, MsgID: 42, From: from, Target: 0x0102_0304_0506_0708},
+		{Type: TypeFoundNodes, MsgID: 43, From: from, Target: 7, Contacts: nil},
+		{Type: TypeFoundNodes, MsgID: 44, From: from, Target: 7, Contacts: []Contact{
+			{ID: 1, Addr: "10.0.0.1:4000"},
+			{ID: 2, Addr: "a-very-long-hostname.internal.example.com:65535"},
+		}},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, fr := range sampleFrames() {
+		wire := AppendFrame(nil, fr)
+		if !IsMembershipFrame(wire) {
+			t.Fatalf("%#02x frame not recognized as membership", fr.Type)
+		}
+		got, err := DecodeFrame(wire)
+		if err != nil {
+			t.Fatalf("decode %#02x: %v", fr.Type, err)
+		}
+		want := fr
+		if want.Contacts != nil && len(want.Contacts) == 0 {
+			want.Contacts = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+		if got.MsgID != fr.MsgID {
+			t.Fatalf("MsgID did not round-trip: %d != %d", got.MsgID, fr.MsgID)
+		}
+	}
+}
+
+func TestCodecRejectsTruncation(t *testing.T) {
+	for _, fr := range sampleFrames() {
+		wire := AppendFrame(nil, fr)
+		for cut := 0; cut < len(wire); cut++ {
+			if _, err := DecodeFrame(wire[:cut]); err == nil {
+				t.Fatalf("%#02x frame truncated to %d/%d bytes decoded cleanly", fr.Type, cut, len(wire))
+			}
+		}
+	}
+}
+
+func TestCodecRejectsTrailingBytes(t *testing.T) {
+	for _, fr := range sampleFrames() {
+		wire := append(AppendFrame(nil, fr), 0x00)
+		if _, err := DecodeFrame(wire); err == nil || !strings.Contains(err.Error(), "trailing") {
+			t.Fatalf("%#02x frame with a trailing byte: err = %v, want trailing-bytes error", fr.Type, err)
+		}
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0x00},
+		{0x7f, 1, 2, 3},
+		{0x85},     // one past the membership range
+		{TypePing}, // no msgid
+		AppendFrame(nil, Frame{Type: TypeFoundNodes, MsgID: 1, From: Contact{ID: 1, Addr: "x:1"}, Contacts: make([]Contact, 0)})[:12],
+	}
+	for i, data := range cases {
+		if _, err := DecodeFrame(data); err == nil {
+			t.Fatalf("case %d decoded cleanly: %v", i, data)
+		}
+	}
+	if IsMembershipFrame([]byte{0x01, 0x02}) {
+		t.Fatal("gossip frame type misclassified as membership")
+	}
+}
+
+// TestCodecBoundsHostileLengths: a forged contact count or address length
+// must be rejected before any allocation on its behalf.
+func TestCodecBoundsHostileLengths(t *testing.T) {
+	base := Frame{Type: TypeFoundNodes, MsgID: 9, From: Contact{ID: 3, Addr: "n:1"}, Target: 4}
+	wire := AppendFrame(nil, base)
+	// Patch the contact-count varint (last byte of a contact-free frame) to a
+	// hostile value.
+	hostile := append(append([]byte{}, wire[:len(wire)-1]...), 0xff, 0xff, 0x7f)
+	if _, err := DecodeFrame(hostile); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("hostile contact count: err = %v, want bound error", err)
+	}
+	long := Contact{ID: 5, Addr: strings.Repeat("a", maxAddrLen+1) + ":1"}
+	wire = AppendFrame(nil, Frame{Type: TypePing, MsgID: 1, From: long})
+	if _, err := DecodeFrame(wire); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("oversized address: err = %v, want range error", err)
+	}
+}

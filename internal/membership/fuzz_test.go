@@ -1,0 +1,72 @@
+package membership
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzMembershipCodec: the robustness lock on the membership wire codec.
+// Arbitrary bytes must either decode into a frame whose re-encoding decodes
+// back to the same frame (round-trip stability — in particular the MsgID must
+// survive exactly, it is the inflight correlation key), or be rejected with
+// an error; truncations of anything decodable and decodable frames with
+// trailing bytes must always be rejected. No input may panic or make the
+// decoder allocate on behalf of a hostile length prefix.
+//
+//	go test ./internal/membership -run=NONE -fuzz=FuzzMembershipCodec -fuzztime=30s
+func FuzzMembershipCodec(f *testing.F) {
+	for _, fr := range []Frame{
+		{Type: TypePing, MsgID: 7, From: Contact{ID: 1, Addr: "127.0.0.1:4001"}},
+		{Type: TypePong, MsgID: 7, From: Contact{ID: 2, Addr: "seed:4001"}},
+		{Type: TypeFindNode, MsgID: 8, From: Contact{ID: 3, Addr: "node2:4001"}, Target: 0xfedc_ba98_7654_3210},
+		{Type: TypeFoundNodes, MsgID: 9, From: Contact{ID: 4, Addr: "n:1"}, Target: 5, Contacts: []Contact{
+			{ID: 6, Addr: "10.0.0.6:4321"}, {ID: 7, Addr: "node7.gossip.local:4001"},
+		}},
+	} {
+		f.Add(AppendFrame(nil, fr))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{TypeFoundNodes, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0x01, 0x02, 0x03})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if !IsMembershipFrame(data) {
+			t.Fatalf("decoded a frame IsMembershipFrame rejects: %v", data)
+		}
+		// Round-trip: re-encode and decode again; the frames must agree and
+		// the encoding must be canonical enough to decode to itself.
+		wire := AppendFrame(nil, fr)
+		again, err := DecodeFrame(wire)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v\nframe: %+v", err, fr)
+		}
+		if !reflect.DeepEqual(fr, again) {
+			t.Fatalf("round-trip drift:\n first %+v\nsecond %+v", fr, again)
+		}
+		if again.MsgID != fr.MsgID {
+			t.Fatalf("MsgID drift: %d != %d", again.MsgID, fr.MsgID)
+		}
+		// A canonical encoding is unique: decoding accepted `data`, so data
+		// re-encodes byte-identically unless it used a non-minimal varint.
+		if len(wire) > len(data) {
+			t.Fatalf("re-encoding grew the frame: %d > %d bytes", len(wire), len(data))
+		}
+		if bytes.Equal(wire, data) {
+			// Strict canonical form: every truncation must fail, and any
+			// appended byte must fail (trailing-bytes rule).
+			for cut := range data {
+				if _, err := DecodeFrame(data[:cut]); err == nil {
+					t.Fatalf("truncation to %d/%d bytes decoded cleanly", cut, len(data))
+				}
+			}
+			if _, err := DecodeFrame(append(append([]byte{}, data...), 0)); err == nil {
+				t.Fatal("frame with a trailing byte decoded cleanly")
+			}
+		}
+	})
+}

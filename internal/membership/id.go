@@ -1,0 +1,90 @@
+// Package membership is the decentralized discovery layer: a Kademlia-style
+// routing substrate that lets one process find the transport addresses of its
+// peers with nothing but a bind address and one bootstrap contact — no shared
+// in-memory directory, no out-of-band address list.
+//
+// The paper's model assumes every node can directly address every other node.
+// In-process engines satisfy that assumption trivially (the simulator's array
+// indexes, the loopback transport's socket table); a genuinely distributed
+// deployment has to earn it. This package earns it the classical way:
+//
+//   - every node derives a 64-bit membership ID from its phone-call NodeID
+//     (DeriveID), so the ID space is shared knowledge given (n, seed);
+//   - each node keeps a k-bucket routing table over XOR distance, refreshed by
+//     every frame it receives, with LRU eviction guarded by a liveness probe
+//     and a replacement cache (table.go);
+//   - PING/PONG and FIND_NODE/FOUND_NODES RPCs, correlated by MsgID through an
+//     inflight map with per-RPC timeouts and retries (node.go, codec.go);
+//   - alpha-parallel iterative lookups that keep stepping toward smaller XOR
+//     distance (lookup.go);
+//   - a bootstrap sequence — ping the seed contact, then look up the node's
+//     own ID — that fills buckets across the ID space (node.go).
+//
+// internal/live resolves gossip peers through this table (live.PeerTransport)
+// and cmd/gossipnode runs one node per process on top of it. See DESIGN.md
+// §14 for the layout, the lookup algorithm and the announce-vs-bind contract.
+package membership
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/rng"
+)
+
+// ID is a node's address in the 64-bit XOR-distance metric space. IDs are
+// derived from the phone-call NodeID space (DeriveID), so every process that
+// knows the execution's (n, seed) derives the same ID table independently —
+// what must be discovered at runtime is only the mapping from ID to transport
+// address.
+type ID uint64
+
+// deriveSalt separates the membership ID stream from every other consumer of
+// the NodeID space; the value is arbitrary but fixed forever (processes with
+// different salts would disagree about every peer's ID).
+const deriveSalt = 0x6d656d62 // "memb"
+
+// DeriveID maps a phone-call NodeID onto the membership ID space. NodeIDs are
+// uniform 63-bit values; the finalizing mix spreads them over all 64 bits so
+// XOR-distance buckets fill evenly.
+func DeriveID(nodeID uint64) ID { return ID(rng.Mix(deriveSalt, nodeID)) }
+
+// Distance is the Kademlia XOR metric, compared as an unsigned integer.
+func (a ID) Distance(b ID) uint64 { return uint64(a ^ b) }
+
+// BucketIndex returns the routing-table bucket that holds b from a's point of
+// view: the index of the highest differing bit, 63 (most distant half of the
+// ID space) down to 0, or -1 when a == b (a node never stores itself).
+func (a ID) BucketIndex(b ID) int {
+	d := uint64(a ^ b)
+	if d == 0 {
+		return -1
+	}
+	return 63 - bits.LeadingZeros64(d)
+}
+
+// maxAddrLen bounds one contact's transport address on the wire; longer
+// addresses are a codec error, not a truncation.
+const maxAddrLen = 255
+
+// Contact pairs a membership ID with the transport address the node announces
+// — the address peers should send to, which under NAT, containers or
+// multi-homed hosts is not the address the node's socket is bound to (the
+// announce-vs-bind split; see Config.Announce).
+type Contact struct {
+	ID   ID
+	Addr string
+}
+
+// Validate reports whether the contact can travel on the wire.
+func (c Contact) Validate() error {
+	if c.Addr == "" {
+		return fmt.Errorf("membership: contact %016x has no address", uint64(c.ID))
+	}
+	if len(c.Addr) > maxAddrLen {
+		return fmt.Errorf("membership: contact address %q exceeds %d bytes", c.Addr, maxAddrLen)
+	}
+	return nil
+}
+
+func (c Contact) String() string { return fmt.Sprintf("%016x@%s", uint64(c.ID), c.Addr) }

@@ -1,0 +1,132 @@
+package membership
+
+import (
+	"sort"
+	"sync"
+)
+
+// Lookup runs the iterative node lookup toward target: starting from the k
+// table contacts closest to target, it repeatedly queries the alpha closest
+// not-yet-queried candidates in parallel with FIND_NODE, folds every returned
+// contact into the candidate set, and stops when the k closest known
+// candidates have all been queried (or failed). Responders and every learned
+// contact flow into the routing table as a side effect — one lookup fills
+// buckets along the whole path toward target, which is why the bootstrap
+// self-lookup is a warmup for the table, not just for one address.
+//
+// The k closest contacts found are returned, closest first; an exact match
+// for target, when discovered, is necessarily at the front. Contacts that
+// time out are reported to the table (Table.Fail) so stale entries do not
+// survive on the lookup path either.
+func (nd *Node) Lookup(target ID) []Contact {
+	if nd.tel != nil {
+		nd.tel.lookups.Add(1)
+	}
+	k := nd.table.K()
+
+	type candidate struct {
+		c       Contact
+		queried bool
+		failed  bool
+	}
+	seen := make(map[ID]*candidate)
+	var order []*candidate // maintained sorted by distance to target
+
+	insert := func(c Contact) {
+		if c.ID == nd.self.ID || c.Validate() != nil {
+			return
+		}
+		if prev, ok := seen[c.ID]; ok {
+			prev.c.Addr = c.Addr // freshest announce address wins
+			return
+		}
+		cand := &candidate{c: c}
+		seen[c.ID] = cand
+		i := sort.Search(len(order), func(i int) bool {
+			return order[i].c.ID.Distance(target) > c.ID.Distance(target)
+		})
+		order = append(order, nil)
+		copy(order[i+1:], order[i:])
+		order[i] = cand
+	}
+	for _, c := range nd.table.Closest(target, k) {
+		insert(c)
+	}
+
+	for {
+		// The next wave: up to alpha unqueried candidates among the k closest
+		// still-standing ones.
+		var wave []*candidate
+		alive := 0
+		for _, cand := range order {
+			if cand.failed {
+				continue
+			}
+			alive++
+			if !cand.queried && len(wave) < nd.alpha {
+				cand.queried = true
+				wave = append(wave, cand)
+			}
+			if alive >= k {
+				break
+			}
+		}
+		if len(wave) == 0 {
+			break
+		}
+
+		results := make([][]Contact, len(wave))
+		var wg sync.WaitGroup
+		for wi, cand := range wave {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cs, err := nd.FindNode(cand.c, target)
+				if err != nil {
+					cand.failed = true // written before wg.Done; read after Wait
+					if nd.table.Fail(cand.c.ID) {
+						nd.logf("membership: evicted %s after lookup timeout", cand.c)
+						nd.updateTableGauges()
+					}
+					return
+				}
+				results[wi] = cs
+			}()
+		}
+		wg.Wait()
+		for _, cs := range results {
+			for _, c := range cs {
+				insert(c)
+				// Learned contacts flow into the routing table too — the
+				// gossip path resolves peers through the table, so discovery
+				// must land where Resolve looks. A dead or forged address
+				// cannot wedge a bucket: overflow probes (observe) and lookup
+				// timeouts (Fail above) evict it on first contact.
+				nd.observe(c)
+			}
+		}
+	}
+
+	out := make([]Contact, 0, k)
+	for _, cand := range order {
+		if cand.failed {
+			continue
+		}
+		out = append(out, cand.c)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// LookupID looks up one exact ID and returns its contact when the lookup
+// discovered it.
+func (nd *Node) LookupID(target ID) (Contact, bool) {
+	for _, c := range nd.Lookup(target) {
+		if c.ID == target {
+			return c, true
+		}
+	}
+	return Contact{}, false
+}

@@ -1,0 +1,526 @@
+package membership
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// maxDatagram bounds one membership or relayed gossip datagram; it matches
+// the live transport's frame bound so the two can share a socket.
+const maxDatagram = 60 * 1024
+
+// Config configures one membership endpoint.
+type Config struct {
+	// Self is this node's membership ID (required, derived from the shared
+	// NodeID space via DeriveID).
+	Self ID
+	// Bind is the UDP listen address ("host:port"; default "127.0.0.1:0").
+	// The port may be 0 for an ephemeral bind.
+	Bind string
+	// Announce is the address peers should reach this node at. It travels in
+	// every frame's From contact, which is what makes the bind/announce split
+	// matter: in a container or behind NAT the bound address ("0.0.0.0:4001")
+	// is not reachable, the announced one ("node3:4001") is. Empty derives an
+	// announce address from the bound socket (loopback when the bind host is
+	// unspecified) — right for single-host runs only.
+	Announce string
+	// K is the bucket capacity and lookup width (default DefaultK).
+	K int
+	// Alpha is the lookup parallelism (default 3).
+	Alpha int
+	// RPCTimeout is the per-attempt response wait (default 500ms); Retries is
+	// the number of re-sends after the first attempt (default 2).
+	RPCTimeout time.Duration
+	Retries    int
+	// Telemetry, when non-nil, receives the membership series:
+	// repro_membership_lookups_total, repro_membership_rpc_timeouts_total,
+	// repro_membership_table_contacts and repro_membership_buckets_occupied.
+	Telemetry *telemetry.Registry
+	// OnGossip, when non-nil, receives every non-membership datagram the
+	// socket reads (the gossip frames of a shared-socket deployment). The
+	// slice is the receiver's to keep. Nil drops them.
+	OnGossip func(frame []byte)
+	// Logf, when non-nil, receives debug lines (bootstrap progress, probe
+	// evictions).
+	Logf func(format string, args ...any)
+}
+
+// ErrTimeout is returned when an RPC's every attempt went unanswered.
+var ErrTimeout = errors.New("membership: rpc timed out")
+
+// ErrClosed is returned by RPCs on a closed node.
+var ErrClosed = errors.New("membership: node closed")
+
+// Node is one membership endpoint: a bound UDP socket, its routing table, the
+// read loop demultiplexing membership RPCs from gossip frames, and the
+// MsgID-correlated inflight map RPC responses are delivered through.
+type Node struct {
+	cfg     Config
+	self    Contact
+	table   *Table
+	conn    *net.UDPConn
+	alpha   int
+	timeout time.Duration
+	retries int
+
+	msgID atomic.Uint64
+
+	mu       sync.Mutex
+	inflight map[uint64]chan Frame
+	probing  map[ID]bool // stale-entry probes in flight
+	looking  map[ID]bool // async lookups in flight
+	resolved map[ID]resolvedAddr
+	closed   bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	tel *nodeTelemetry
+}
+
+// resolvedAddr caches one contact's parsed announce address; addr is the
+// string it was resolved from, so an announce change invalidates the cache.
+type resolvedAddr struct {
+	addr string
+	udp  *net.UDPAddr
+}
+
+// nodeTelemetry is the pre-resolved membership instrument set.
+type nodeTelemetry struct {
+	lookups  *telemetry.Counter
+	timeouts *telemetry.Counter
+	contacts *telemetry.Gauge
+	buckets  *telemetry.Gauge
+}
+
+// New binds the endpoint and starts its read loop. The node answers PING and
+// FIND_NODE immediately; discovering peers takes a Bootstrap call (or inbound
+// traffic from peers bootstrapping off this node — the seed node of a
+// deployment never bootstraps, it just listens).
+func New(cfg Config) (*Node, error) {
+	if cfg.Self == 0 {
+		return nil, fmt.Errorf("membership: Self ID is required (derive it with DeriveID)")
+	}
+	if cfg.Bind == "" {
+		cfg.Bind = "127.0.0.1:0"
+	}
+	if cfg.K <= 0 {
+		cfg.K = DefaultK
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 3
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 500 * time.Millisecond
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	bind, err := net.ResolveUDPAddr("udp", cfg.Bind)
+	if err != nil {
+		return nil, fmt.Errorf("membership: bind %q: %w", cfg.Bind, err)
+	}
+	conn, err := net.ListenUDP("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("membership: bind %q: %w", cfg.Bind, err)
+	}
+	announce := cfg.Announce
+	if announce == "" {
+		announce = announceFromBound(conn.LocalAddr().(*net.UDPAddr))
+	}
+	self := Contact{ID: cfg.Self, Addr: announce}
+	if err := self.Validate(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	nd := &Node{
+		cfg:      cfg,
+		self:     self,
+		table:    NewTable(cfg.Self, cfg.K),
+		conn:     conn,
+		alpha:    cfg.Alpha,
+		timeout:  cfg.RPCTimeout,
+		retries:  cfg.Retries,
+		inflight: make(map[uint64]chan Frame),
+		probing:  make(map[ID]bool),
+		looking:  make(map[ID]bool),
+		resolved: make(map[ID]resolvedAddr),
+		done:     make(chan struct{}),
+	}
+	// MsgIDs only need to be unique within this node's inflight window; seed
+	// the counter off the self ID so two nodes' debug logs are tellable apart.
+	nd.msgID.Store(uint64(cfg.Self) << 20)
+	if cfg.Telemetry != nil {
+		nd.tel = &nodeTelemetry{
+			lookups:  cfg.Telemetry.Counter("repro_membership_lookups_total"),
+			timeouts: cfg.Telemetry.Counter("repro_membership_rpc_timeouts_total"),
+			contacts: cfg.Telemetry.Gauge("repro_membership_table_contacts"),
+			buckets:  cfg.Telemetry.Gauge("repro_membership_buckets_occupied"),
+		}
+	}
+	nd.wg.Add(1)
+	go nd.readLoop()
+	return nd, nil
+}
+
+// announceFromBound derives a single-host announce address from the bound
+// socket: an unspecified bind host announces loopback.
+func announceFromBound(bound *net.UDPAddr) string {
+	ip := bound.IP
+	if ip == nil || ip.IsUnspecified() {
+		ip = net.IPv4(127, 0, 0, 1)
+	}
+	return net.JoinHostPort(ip.String(), strconv.Itoa(bound.Port))
+}
+
+// Self returns this node's contact (ID + announce address).
+func (nd *Node) Self() Contact { return nd.self }
+
+// Table returns the routing table.
+func (nd *Node) Table() *Table { return nd.table }
+
+// BindAddr returns the bound socket address (the port matters after a :0
+// bind).
+func (nd *Node) BindAddr() *net.UDPAddr { return nd.conn.LocalAddr().(*net.UDPAddr) }
+
+// Close tears the endpoint down: the socket closes, the read loop and every
+// outstanding RPC and probe unwind.
+func (nd *Node) Close() error {
+	nd.mu.Lock()
+	if nd.closed {
+		nd.mu.Unlock()
+		return nil
+	}
+	nd.closed = true
+	close(nd.done)
+	nd.mu.Unlock()
+	err := nd.conn.Close()
+	nd.wg.Wait()
+	return err
+}
+
+// logf emits a debug line when the config asked for them.
+func (nd *Node) logf(format string, args ...any) {
+	if nd.cfg.Logf != nil {
+		nd.cfg.Logf(format, args...)
+	}
+}
+
+// readLoop pumps the socket: membership frames are decoded and handled here,
+// anything else is copied out of the scratch arena and handed to OnGossip.
+// The arena amortizes the per-datagram copy (the same discipline as the live
+// UDP transport's read loop): one chunk allocation serves many deliveries.
+func (nd *Node) readLoop() {
+	defer nd.wg.Done()
+	buf := make([]byte, maxDatagram+1)
+	var arena []byte
+	for {
+		k, _, err := nd.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			return // closed
+		}
+		if k > maxDatagram {
+			continue // oversized: drop, like the wire would
+		}
+		if IsMembershipFrame(buf[:k]) {
+			fr, err := DecodeFrame(buf[:k])
+			if err != nil {
+				nd.logf("membership: drop malformed frame: %v", err)
+				continue
+			}
+			nd.handle(fr)
+			continue
+		}
+		if nd.cfg.OnGossip == nil {
+			continue
+		}
+		if len(arena) < k {
+			arena = make([]byte, 64*1024)
+		}
+		frame := arena[:k:k]
+		arena = arena[k:]
+		copy(frame, buf[:k])
+		nd.cfg.OnGossip(frame)
+	}
+}
+
+// handle processes one decoded membership frame on the read-loop goroutine.
+// Requests are answered inline (one datagram, no blocking); responses are
+// delivered to their inflight waiter. Every frame is routing-table evidence.
+func (nd *Node) handle(fr Frame) {
+	nd.observe(fr.From)
+	switch fr.Type {
+	case TypePing:
+		nd.reply(fr.From, Frame{Type: TypePong, MsgID: fr.MsgID, From: nd.self})
+	case TypeFindNode:
+		nd.reply(fr.From, Frame{
+			Type:     TypeFoundNodes,
+			MsgID:    fr.MsgID,
+			From:     nd.self,
+			Target:   fr.Target,
+			Contacts: nd.table.Closest(fr.Target, nd.table.K()),
+		})
+	case TypePong, TypeFoundNodes:
+		nd.mu.Lock()
+		ch := nd.inflight[fr.MsgID]
+		nd.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- fr:
+			default: // duplicate response (a retry raced the original answer)
+			}
+		}
+	}
+}
+
+// observe feeds a contact into the routing table and, when the table
+// nominates a stale entry for it, probes that entry off the read loop ("no
+// network under locks"): a dead LRU entry is evicted and the cache promoted
+// by Table.Fail, a live one is refreshed by its pong.
+func (nd *Node) observe(c Contact) {
+	if c.ID == nd.self.ID || c.Validate() != nil {
+		return
+	}
+	stale, probe := nd.table.Update(c)
+	nd.updateTableGauges()
+	if !probe {
+		return
+	}
+	nd.mu.Lock()
+	if nd.closed || nd.probing[stale.ID] {
+		nd.mu.Unlock()
+		return
+	}
+	nd.probing[stale.ID] = true
+	nd.wg.Add(1) // under mu: Close sets closed before it waits, so no Add races the Wait
+	nd.mu.Unlock()
+	go func() {
+		defer nd.wg.Done()
+		defer func() {
+			nd.mu.Lock()
+			delete(nd.probing, stale.ID)
+			nd.mu.Unlock()
+		}()
+		if _, err := nd.Ping(stale.Addr); err != nil {
+			if nd.table.Fail(stale.ID) {
+				nd.logf("membership: evicted stale contact %s after probe timeout", stale)
+			}
+			nd.updateTableGauges()
+		}
+	}()
+}
+
+// updateTableGauges publishes the table's occupancy to telemetry.
+func (nd *Node) updateTableGauges() {
+	if nd.tel == nil {
+		return
+	}
+	nd.tel.contacts.Set(int64(nd.table.Len()))
+	nd.tel.buckets.Set(int64(nd.table.Occupancy()))
+}
+
+// reply sends one response frame to a contact's announce address.
+func (nd *Node) reply(to Contact, fr Frame) {
+	if addr, ok := nd.Resolve(to.ID); ok {
+		nd.SendRaw(addr, AppendFrame(nil, fr))
+		return
+	}
+	// Not in the table yet (a full bucket can refuse the requester): resolve
+	// the announce address directly for this one response.
+	if udp, err := net.ResolveUDPAddr("udp", to.Addr); err == nil {
+		nd.SendRaw(udp, AppendFrame(nil, fr))
+	}
+}
+
+// SendRaw writes one datagram. It is the gossip passthrough of a
+// shared-socket deployment: the live transport resolves a peer through the
+// routing table and sends its gossip frame from the same socket membership
+// RPCs use.
+func (nd *Node) SendRaw(addr *net.UDPAddr, frame []byte) error {
+	if len(frame) > maxDatagram {
+		return fmt.Errorf("membership: %d-byte frame exceeds the %d-byte datagram bound", len(frame), maxDatagram)
+	}
+	_, err := nd.conn.WriteToUDP(frame, addr)
+	return err
+}
+
+// Resolve returns the parsed transport address of id: an exact routing-table
+// hit plus a resolution cache (announce addresses may be DNS names in a
+// container deployment; each is resolved once per address change). The miss
+// path is the caller's to handle — the live transport reacts with
+// LookupAsync.
+func (nd *Node) Resolve(id ID) (*net.UDPAddr, bool) {
+	addr, ok := nd.table.AddrOf(id)
+	if !ok {
+		return nil, false
+	}
+	nd.mu.Lock()
+	if r, ok := nd.resolved[id]; ok && r.addr == addr {
+		nd.mu.Unlock()
+		return r.udp, true
+	}
+	nd.mu.Unlock()
+	udp, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		nd.logf("membership: cannot resolve %q for %016x: %v", addr, uint64(id), err)
+		return nil, false
+	}
+	nd.mu.Lock()
+	nd.resolved[id] = resolvedAddr{addr: addr, udp: udp}
+	nd.mu.Unlock()
+	return udp, true
+}
+
+// nextMsgID draws a fresh correlation ID.
+func (nd *Node) nextMsgID() uint64 { return nd.msgID.Add(1) }
+
+// call performs one request/response RPC: register the MsgID waiter, send,
+// wait out the per-attempt timeout, retry. All attempts share one MsgID (the
+// request is idempotent), so a slow answer to the first send still satisfies
+// a later wait. Every unanswered attempt counts into
+// repro_membership_rpc_timeouts_total.
+func (nd *Node) call(addr *net.UDPAddr, req Frame, want byte) (Frame, error) {
+	ch := make(chan Frame, 1)
+	nd.mu.Lock()
+	if nd.closed {
+		nd.mu.Unlock()
+		return Frame{}, ErrClosed
+	}
+	nd.inflight[req.MsgID] = ch
+	nd.mu.Unlock()
+	defer func() {
+		nd.mu.Lock()
+		delete(nd.inflight, req.MsgID)
+		nd.mu.Unlock()
+	}()
+
+	wire := AppendFrame(nil, req)
+	timer := time.NewTimer(nd.timeout)
+	defer timer.Stop()
+	for attempt := 0; attempt <= nd.retries; attempt++ {
+		if err := nd.SendRaw(addr, wire); err != nil {
+			// A refused write behaves like a lost datagram: wait, retry.
+			nd.logf("membership: send to %v failed: %v", addr, err)
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(nd.timeout)
+		select {
+		case resp := <-ch:
+			if resp.Type == want {
+				return resp, nil
+			}
+			return Frame{}, fmt.Errorf("membership: unexpected response type %#02x (want %#02x)", resp.Type, want)
+		case <-timer.C:
+			if nd.tel != nil {
+				nd.tel.timeouts.Add(1)
+			}
+		case <-nd.done:
+			return Frame{}, ErrClosed
+		}
+	}
+	return Frame{}, fmt.Errorf("%w: %#02x to %v after %d attempts", ErrTimeout, req.Type, addr, nd.retries+1)
+}
+
+// Ping checks liveness of the node at addr (an address, not a contact: PING
+// is how a bootstrapping node introduces itself to a seed it knows only by
+// address). The responder's contact is returned and absorbed into the table.
+func (nd *Node) Ping(addr string) (Contact, error) {
+	udp, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return Contact{}, fmt.Errorf("membership: ping %q: %w", addr, err)
+	}
+	resp, err := nd.call(udp, Frame{Type: TypePing, MsgID: nd.nextMsgID(), From: nd.self}, TypePong)
+	if err != nil {
+		return Contact{}, err
+	}
+	return resp.From, nil
+}
+
+// FindNode asks contact c for the k contacts it knows closest to target.
+func (nd *Node) FindNode(c Contact, target ID) ([]Contact, error) {
+	udp, err := net.ResolveUDPAddr("udp", c.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("membership: find_node via %s: %w", c, err)
+	}
+	resp, err := nd.call(udp, Frame{
+		Type: TypeFindNode, MsgID: nd.nextMsgID(), From: nd.self, Target: target,
+	}, TypeFoundNodes)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Contacts, nil
+}
+
+// Bootstrap joins the network through one seed address: ping the seed until
+// it answers (containers of one deployment start in arbitrary order, so the
+// ping retries with backoff until ctx expires), then run the warmup
+// self-lookup that walks FIND_NODE toward this node's own ID and fills
+// buckets across the ID space along the way.
+func (nd *Node) Bootstrap(ctx context.Context, seedAddr string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	backoff := 100 * time.Millisecond
+	for {
+		seed, err := nd.Ping(seedAddr)
+		if err == nil {
+			nd.logf("membership: bootstrap seed %s answered", seed)
+			break
+		}
+		if errors.Is(err, ErrClosed) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("membership: bootstrap via %q: %w (last: %v)", seedAddr, ctx.Err(), err)
+		}
+		nd.logf("membership: bootstrap ping %q: %v (retrying in %v)", seedAddr, err, backoff)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return fmt.Errorf("membership: bootstrap via %q: %w (last: %v)", seedAddr, ctx.Err(), err)
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+	nd.Lookup(nd.self.ID)
+	return nil
+}
+
+// LookupAsync starts a background lookup for target unless one is already
+// running — the on-miss fallback of the gossip path, which must not block a
+// round on discovery traffic.
+func (nd *Node) LookupAsync(target ID) {
+	nd.mu.Lock()
+	if nd.closed || nd.looking[target] {
+		nd.mu.Unlock()
+		return
+	}
+	nd.looking[target] = true
+	nd.wg.Add(1) // under mu, for the same Close/Wait ordering as the probes
+	nd.mu.Unlock()
+	go func() {
+		defer nd.wg.Done()
+		defer func() {
+			nd.mu.Lock()
+			delete(nd.looking, target)
+			nd.mu.Unlock()
+		}()
+		nd.Lookup(target)
+	}()
+}

@@ -1,0 +1,289 @@
+package membership
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// fastConfig returns a config tuned for loopback tests: short RPC timeouts so
+// negative-path tests finish quickly.
+func fastConfig(self ID) Config {
+	return Config{
+		Self:       self,
+		Bind:       "127.0.0.1:0",
+		RPCTimeout: 100 * time.Millisecond,
+		Retries:    -1, // one attempt
+	}
+}
+
+func mustNode(t *testing.T, cfg Config) *Node {
+	t.Helper()
+	nd, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%016x): %v", uint64(cfg.Self), err)
+	}
+	t.Cleanup(func() { nd.Close() })
+	return nd
+}
+
+func TestNodePingRoundTrip(t *testing.T) {
+	a := mustNode(t, fastConfig(1))
+	b := mustNode(t, fastConfig(2))
+
+	got, err := a.Ping(b.Self().Addr)
+	if err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if got != b.Self() {
+		t.Fatalf("ping returned %v, want %v", got, b.Self())
+	}
+	// Both sides learned the other: a from the pong, b from the ping.
+	if addr, ok := a.Table().AddrOf(b.Self().ID); !ok || addr != b.Self().Addr {
+		t.Fatalf("a's table after ping: AddrOf(b) = %q, %v", addr, ok)
+	}
+	if addr, ok := b.Table().AddrOf(a.Self().ID); !ok || addr != a.Self().Addr {
+		t.Fatalf("b's table after ping: AddrOf(a) = %q, %v", addr, ok)
+	}
+}
+
+func TestNodeFindNodeReturnsClosest(t *testing.T) {
+	seed := mustNode(t, fastConfig(0x1000))
+	var peers []*Node
+	for i := uint64(1); i <= 6; i++ {
+		p := mustNode(t, fastConfig(ID(0x2000+i)))
+		if _, err := p.Ping(seed.Self().Addr); err != nil {
+			t.Fatalf("peer %d ping seed: %v", i, err)
+		}
+		peers = append(peers, p)
+	}
+	asker := mustNode(t, fastConfig(0x3000))
+	target := peers[3].Self().ID
+	got, err := asker.FindNode(seed.Self(), target)
+	if err != nil {
+		t.Fatalf("find_node: %v", err)
+	}
+	if len(got) == 0 || got[0].ID != target {
+		t.Fatalf("FindNode closest = %v, want %016x first", got, uint64(target))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].ID.Distance(target) >= got[i].ID.Distance(target) {
+			t.Fatalf("FindNode result not sorted by distance at %d", i)
+		}
+	}
+}
+
+// TestNodeBootstrapConvergence: N nodes join through one seed knowing nothing
+// but the seed's address; after bootstrap every node resolves every other
+// through its own routing table (N < k, so full knowledge is the fixed point).
+func TestNodeBootstrapConvergence(t *testing.T) {
+	const n = 8
+	nodes := make([]*Node, n)
+	nodes[0] = mustNode(t, fastConfig(ID(0x9e37_79b9_7f4a_7c15))) // seed
+	seedAddr := nodes[0].Self().Addr
+	for i := 1; i < n; i++ {
+		// Spread IDs across the space so the join exercises many buckets.
+		nodes[i] = mustNode(t, fastConfig(DeriveID(uint64(i))))
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := nodes[i].Bootstrap(ctx, seedAddr); err != nil {
+			cancel()
+			t.Fatalf("node %d bootstrap: %v", i, err)
+		}
+		cancel()
+	}
+	// Late joiners know everyone who joined before them via the seed's table;
+	// early joiners may need a lookup to find late ones. Poll with lookups
+	// until the directory is complete everywhere.
+	deadline := time.Now().Add(5 * time.Second)
+	for i, nd := range nodes {
+		for j, other := range nodes {
+			if i == j {
+				continue
+			}
+			for {
+				if addr, ok := nd.Table().AddrOf(other.Self().ID); ok {
+					if addr != other.Self().Addr {
+						t.Fatalf("node %d resolves node %d to %q, want %q", i, j, addr, other.Self().Addr)
+					}
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("node %d never discovered node %d", i, j)
+				}
+				nd.Lookup(other.Self().ID)
+			}
+		}
+	}
+	// Resolve (the gossip path) agrees with the table.
+	want := nodes[3].BindAddr().AddrPort()
+	udp, ok := nodes[5].Resolve(nodes[3].Self().ID)
+	if !ok {
+		t.Fatal("Resolve missed a contact the table holds")
+	}
+	if udp.AddrPort().Port() != want.Port() {
+		t.Fatalf("Resolve port %d, want %d", udp.AddrPort().Port(), want.Port())
+	}
+}
+
+// TestNodeRPCTimeout: a silent endpoint exhausts the attempts, the RPC returns
+// ErrTimeout, and every unanswered attempt lands in the timeout counter.
+func TestNodeRPCTimeout(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := fastConfig(7)
+	cfg.RPCTimeout = 30 * time.Millisecond
+	cfg.Retries = 1
+	cfg.Telemetry = reg
+	nd := mustNode(t, cfg)
+
+	// A bound-then-closed socket's port is silent but routable.
+	dead, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.LocalAddr().String()
+	dead.Close()
+
+	start := time.Now()
+	_, err = nd.Ping(deadAddr)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("ping to dead endpoint: %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*cfg.RPCTimeout {
+		t.Fatalf("RPC gave up after %v, want at least %v (2 attempts)", elapsed, 2*cfg.RPCTimeout)
+	}
+	if got := reg.Counter("repro_membership_rpc_timeouts_total").Value(); got != 2 {
+		t.Fatalf("repro_membership_rpc_timeouts_total = %d, want 2", got)
+	}
+}
+
+// TestNodeStaleEvictionOnPingTimeout: the node-level version of the table's
+// LRU contract. A dead contact occupies the only bucket slot; when a live
+// newcomer from the same bucket announces itself, the node probes the stale
+// entry, the probe times out, and the table evicts it and promotes the
+// newcomer — without the caller doing anything.
+func TestNodeStaleEvictionOnPingTimeout(t *testing.T) {
+	self := ID(0x4000_0000_0000_0000)
+	cfg := fastConfig(self)
+	cfg.K = 1
+	cfg.RPCTimeout = 50 * time.Millisecond
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = reg
+	a := mustNode(t, cfg)
+
+	// Two peers in the same bucket of a (bucket 40), so the second overflows it.
+	deadID := self ^ (1 << 40) ^ 1
+	liveID := self ^ (1 << 40) ^ 2
+	deadPeer, err := New(fastConfig(deadID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := deadPeer.Ping(a.Self().Addr); err != nil {
+		t.Fatalf("dead peer introduction: %v", err)
+	}
+	deadPeer.Close() // now a's only bucket entry is a corpse
+
+	live := mustNode(t, fastConfig(liveID))
+	if _, err := live.Ping(a.Self().Addr); err != nil {
+		t.Fatalf("live peer introduction: %v", err)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		_, deadThere := a.Table().AddrOf(deadID)
+		liveAddr, liveThere := a.Table().AddrOf(liveID)
+		if !deadThere && liveThere {
+			if liveAddr != live.Self().Addr {
+				t.Fatalf("promoted contact has addr %q, want %q", liveAddr, live.Self().Addr)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stale entry never evicted: dead in table=%v, live in table=%v", deadThere, liveThere)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := reg.Gauge("repro_membership_table_contacts").Value(); got < 1 {
+		t.Fatalf("repro_membership_table_contacts = %d, want >= 1", got)
+	}
+}
+
+// TestNodeLookupFindsUnknownPeer: a node that only knows the seed locates an
+// arbitrary peer by ID through iterative FIND_NODE.
+func TestNodeLookupFindsUnknownPeer(t *testing.T) {
+	seed := mustNode(t, fastConfig(0x0101))
+	var hidden *Node
+	for i := uint64(0); i < 10; i++ {
+		p := mustNode(t, fastConfig(DeriveID(100+i)))
+		if _, err := p.Ping(seed.Self().Addr); err != nil {
+			t.Fatalf("peer %d ping: %v", i, err)
+		}
+		if i == 7 {
+			hidden = p
+		}
+	}
+	joiner := mustNode(t, fastConfig(0x0202))
+	if _, err := joiner.Ping(seed.Self().Addr); err != nil {
+		t.Fatalf("joiner ping: %v", err)
+	}
+	c, ok := joiner.LookupID(hidden.Self().ID)
+	if !ok {
+		t.Fatalf("lookup missed %016x", uint64(hidden.Self().ID))
+	}
+	if c.Addr != hidden.Self().Addr {
+		t.Fatalf("lookup resolved %q, want %q", c.Addr, hidden.Self().Addr)
+	}
+	// The lookup's side effect: the joiner can now Resolve the peer directly.
+	if _, ok := joiner.Resolve(hidden.Self().ID); !ok {
+		t.Fatal("lookup result did not land in the routing table")
+	}
+}
+
+// TestNodeGossipPassthrough: non-membership datagrams on the shared socket
+// reach OnGossip intact; membership frames do not.
+func TestNodeGossipPassthrough(t *testing.T) {
+	got := make(chan []byte, 4)
+	cfg := fastConfig(11)
+	cfg.OnGossip = func(frame []byte) { got <- frame }
+	a := mustNode(t, cfg)
+	b := mustNode(t, fastConfig(12))
+
+	payload := []byte{0x01, 0xaa, 0xbb, 0xcc} // gossip-typed frame
+	udp, err := net.ResolveUDPAddr("udp", a.Self().Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SendRaw(udp, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Ping(a.Self().Addr); err != nil { // membership traffic interleaved
+		t.Fatal(err)
+	}
+	select {
+	case frame := <-got:
+		if fmt.Sprintf("%x", frame) != fmt.Sprintf("%x", payload) {
+			t.Fatalf("OnGossip got % x, want % x", frame, payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("gossip frame never delivered")
+	}
+	select {
+	case frame := <-got:
+		t.Fatalf("membership frame leaked to OnGossip: % x", frame)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestNodeClosedRPCErrors(t *testing.T) {
+	a := mustNode(t, fastConfig(21))
+	b := mustNode(t, fastConfig(22))
+	addr := b.Self().Addr
+	a.Close()
+	if _, err := a.Ping(addr); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ping on closed node: %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,232 @@
+package membership
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// contactIn builds a contact whose ID lands in bucket bi of self, with lo
+// disambiguating contacts within the bucket.
+func contactIn(self ID, bi int, lo uint64) Contact {
+	id := self ^ (1 << uint(bi)) ^ ID(lo)
+	return Contact{ID: id, Addr: fmt.Sprintf("10.0.%d.%d:4000", bi, lo)}
+}
+
+func TestBucketIndex(t *testing.T) {
+	var a ID = 0x8000_0000_0000_0000
+	if got := a.BucketIndex(a); got != -1 {
+		t.Fatalf("self distance bucket = %d, want -1", got)
+	}
+	if got := a.BucketIndex(a ^ 1); got != 0 {
+		t.Fatalf("adjacent ID bucket = %d, want 0", got)
+	}
+	if got := a.BucketIndex(0); got != 63 {
+		t.Fatalf("opposite-half bucket = %d, want 63", got)
+	}
+	if got := a.BucketIndex(a ^ (1 << 40) ^ 0xfff); got != 40 {
+		t.Fatalf("bucket = %d, want 40 (highest differing bit wins)", got)
+	}
+}
+
+// TestTableBucketDistribution: contacts split across buckets by the highest
+// bit in which they differ from self; no bucket holds a contact from another
+// distance range.
+func TestTableBucketDistribution(t *testing.T) {
+	self := ID(0x0123_4567_89ab_cdef)
+	tab := NewTable(self, 4)
+	for bi := 0; bi < 64; bi += 7 {
+		for lo := uint64(0); lo < 3; lo++ {
+			c := contactIn(self, bi, lo)
+			if bi >= 2 && self.BucketIndex(c.ID) != bi {
+				t.Fatalf("test contact construction broken for bucket %d", bi)
+			}
+		}
+	}
+	for bi := 8; bi < 64; bi += 7 { // bi >= 8 keeps the low disambiguation bits below the bucket bit
+		for lo := uint64(0); lo < 3; lo++ {
+			tab.Update(contactIn(self, bi, lo))
+		}
+	}
+	for bi := 8; bi < 64; bi += 7 {
+		if got := tab.BucketLen(bi); got != 3 {
+			t.Fatalf("bucket %d has %d entries, want 3", bi, got)
+		}
+	}
+	if tab.Len() != 3*len(bucketRange(8, 64, 7)) {
+		t.Fatalf("table size %d, want %d", tab.Len(), 3*len(bucketRange(8, 64, 7)))
+	}
+	if occ := tab.Occupancy(); occ != len(bucketRange(8, 64, 7)) {
+		t.Fatalf("occupancy %d, want %d", occ, len(bucketRange(8, 64, 7)))
+	}
+}
+
+func bucketRange(lo, hi, step int) []int {
+	var out []int
+	for bi := lo; bi < hi; bi += step {
+		out = append(out, bi)
+	}
+	return out
+}
+
+// TestTableLRUEviction: a full bucket refuses the newcomer, nominates its
+// least-recently-seen entry for a probe, and only Fail actually evicts —
+// promoting the freshest replacement-cache contact.
+func TestTableLRUEviction(t *testing.T) {
+	self := ID(0)
+	tab := NewTable(self, 2)
+	const bi = 40
+	c1, c2, c3 := contactIn(self, bi, 1), contactIn(self, bi, 2), contactIn(self, bi, 3)
+
+	tab.Update(c1)
+	tab.Update(c2)
+	stale, probe := tab.Update(c3)
+	if !probe || stale.ID != c1.ID {
+		t.Fatalf("full bucket nominated %v (probe=%v), want LRU %v", stale, probe, c1)
+	}
+	if got := tab.BucketLen(bi); got != 2 {
+		t.Fatalf("bucket grew to %d on overflow, want 2", got)
+	}
+	if got := tab.CacheLen(bi); got != 1 {
+		t.Fatalf("replacement cache has %d entries, want 1", got)
+	}
+	if _, ok := tab.AddrOf(c3.ID); ok {
+		t.Fatalf("cached newcomer %v is routable before promotion", c3)
+	}
+
+	// The probe found c1 alive (refresh): c1 moves to the fresh end, and the
+	// next overflow nominates c2 instead.
+	tab.Update(c1)
+	stale, probe = tab.Update(c3)
+	if !probe || stale.ID != c2.ID {
+		t.Fatalf("after refresh the LRU is %v (probe=%v), want %v", stale, probe, c2)
+	}
+
+	// The probe timed out: Fail evicts c2 and promotes the freshest cache
+	// entry (c3).
+	if !tab.Fail(c2.ID) {
+		t.Fatalf("Fail(%v) evicted nothing", c2)
+	}
+	if _, ok := tab.AddrOf(c2.ID); ok {
+		t.Fatal("failed contact still routable")
+	}
+	if addr, ok := tab.AddrOf(c3.ID); !ok || addr != c3.Addr {
+		t.Fatalf("replacement-cache promotion: AddrOf(c3) = %q, %v; want %q", addr, ok, c3.Addr)
+	}
+	if got := tab.CacheLen(bi); got != 0 {
+		t.Fatalf("cache still holds %d entries after promotion", got)
+	}
+}
+
+// TestTableReplacementCacheRecency: the cache is LRU too — re-seen cached
+// contacts refresh, the oldest overflow is forgotten at capacity, and
+// promotion takes the freshest.
+func TestTableReplacementCacheRecency(t *testing.T) {
+	self := ID(0)
+	tab := NewTable(self, 2)
+	const bi = 40
+	in := func(lo uint64) Contact { return contactIn(self, bi, lo) }
+	tab.Update(in(1))
+	tab.Update(in(2))
+	// Overflow contacts 3, 4, 5: cache holds them in recency order.
+	tab.Update(in(3))
+	tab.Update(in(4))
+	tab.Update(in(5))
+	tab.Update(in(3)) // refresh 3: now freshest
+	if got := tab.CacheLen(bi); got != 2 {
+		t.Fatalf("cache depth %d, want 2 (capped at k)", got)
+	}
+	tab.Fail(in(1).ID)
+	if _, ok := tab.AddrOf(in(3).ID); !ok {
+		t.Fatal("promotion took a stale cache entry, want the freshest (3)")
+	}
+}
+
+// TestTableUpdateRefreshesAddr: a known contact re-announcing from a new
+// address updates in place (a restarted container keeps its ID, not its IP).
+func TestTableUpdateRefreshesAddr(t *testing.T) {
+	self := ID(0)
+	tab := NewTable(self, 4)
+	c := contactIn(self, 40, 1)
+	tab.Update(c)
+	moved := Contact{ID: c.ID, Addr: "10.9.9.9:4000"}
+	tab.Update(moved)
+	if addr, _ := tab.AddrOf(c.ID); addr != moved.Addr {
+		t.Fatalf("AddrOf after re-announce = %q, want %q", addr, moved.Addr)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("re-announce duplicated the contact: len %d", tab.Len())
+	}
+}
+
+// TestTableIgnoresSelfAndInvalid: the table never stores its own node or an
+// unroutable contact.
+func TestTableIgnoresSelfAndInvalid(t *testing.T) {
+	self := ID(7)
+	tab := NewTable(self, 4)
+	tab.Update(Contact{ID: self, Addr: "10.0.0.1:1"})
+	tab.Update(Contact{ID: 9}) // no address
+	if tab.Len() != 0 {
+		t.Fatalf("table stored self or an invalid contact: len %d", tab.Len())
+	}
+	if tab.Fail(self) {
+		t.Fatal("Fail(self) evicted something")
+	}
+}
+
+// TestTableClosest: result is sorted by XOR distance to the target and
+// truncated to count.
+func TestTableClosest(t *testing.T) {
+	self := ID(0)
+	tab := NewTable(self, 20)
+	for bi := 8; bi < 24; bi++ {
+		tab.Update(contactIn(self, bi, 1))
+	}
+	target := contactIn(self, 8, 1).ID
+	got := tab.Closest(target, 5)
+	if len(got) != 5 {
+		t.Fatalf("Closest returned %d contacts, want 5", len(got))
+	}
+	if got[0].ID != target {
+		t.Fatalf("closest to a present ID is %v, want the ID itself", got[0])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].ID.Distance(target) >= got[i].ID.Distance(target) {
+			t.Fatalf("Closest not sorted at %d: %x >= %x", i,
+				got[i-1].ID.Distance(target), got[i].ID.Distance(target))
+		}
+	}
+}
+
+// TestTableDeterministicJoinOrder: the table is a pure function of its
+// Update/Fail sequence — two tables fed the same join order are identical,
+// and a different join order is allowed to (and here does) differ.
+func TestTableDeterministicJoinOrder(t *testing.T) {
+	self := ID(0x55aa_55aa_55aa_55aa)
+	var seq []Contact
+	for bi := 8; bi < 64; bi += 3 {
+		for lo := uint64(0); lo < 5; lo++ {
+			seq = append(seq, contactIn(self, bi, lo))
+		}
+	}
+	build := func(order []Contact) *Table {
+		tab := NewTable(self, 3)
+		for _, c := range order {
+			tab.Update(c)
+		}
+		tab.Fail(seq[0].ID)
+		return tab
+	}
+	a, b := build(seq), build(seq)
+	if !reflect.DeepEqual(a.Contacts(), b.Contacts()) {
+		t.Fatal("same join order produced different tables")
+	}
+	rev := make([]Contact, len(seq))
+	for i, c := range seq {
+		rev[len(seq)-1-i] = c
+	}
+	c := build(rev)
+	if reflect.DeepEqual(a.Contacts(), c.Contacts()) {
+		t.Log("reversed join order produced an identical table (legal, but suspicious for LRU state)")
+	}
+}

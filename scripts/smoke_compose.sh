@@ -1,0 +1,43 @@
+#!/bin/sh
+# Multi-container bootstrap-and-converge smoke: brings up the five-node
+# docker-compose deployment, waits for every container to finish, prints all
+# logs, and fails unless every node exited 0 with a convergence report.
+# CI's deploy job runs this; locally it is `make smoke-compose`.
+set -eu
+
+COMPOSE="${COMPOSE:-docker compose}"
+TIMEOUT="${SMOKE_TIMEOUT:-240}"
+
+cleanup() {
+	$COMPOSE down --remove-orphans >/dev/null 2>&1 || true
+}
+trap cleanup EXIT
+
+$COMPOSE build
+$COMPOSE up -d
+
+FAIL=0
+for NODE in node0 node1 node2 node3 node4; do
+	# `docker wait` blocks until the container exits and prints its exit
+	# code; the timeout guards CI against a deployment that never quiesces.
+	CODE="$(timeout "$TIMEOUT" docker wait "repro-$NODE" || echo timeout)"
+	if [ "$CODE" != "0" ]; then
+		echo "smoke_compose: $NODE exit code: $CODE" >&2
+		FAIL=1
+	fi
+done
+
+for NODE in node0 node1 node2 node3 node4; do
+	echo "---- $NODE ----"
+	docker logs "repro-$NODE" 2>&1 || true
+	if ! docker logs "repro-$NODE" 2>&1 | grep -q "converged          YES"; then
+		echo "smoke_compose: $NODE report lacks convergence" >&2
+		FAIL=1
+	fi
+done
+
+if [ "$FAIL" -ne 0 ]; then
+	echo "smoke_compose: FAIL" >&2
+	exit 1
+fi
+echo "smoke_compose: all 5 containers converged and exited 0"

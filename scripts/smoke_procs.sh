@@ -1,0 +1,71 @@
+#!/bin/sh
+# Five-process bootstrap-and-converge smoke on loopback: the same deployment
+# shape as docker-compose.yml without containers. node0 seeds and injects the
+# rumor; node1..node4 join through its address alone and must discover every
+# peer via FIND_NODE before the rumor can spread. All five processes must
+# exit 0 (each prints its own convergence report).
+#
+# Usage: scripts/smoke_procs.sh [path-to-gossipnode]   (default: go run)
+set -eu
+
+BIN="${1:-}"
+run_node() {
+	if [ -n "$BIN" ]; then
+		"$BIN" "$@"
+	else
+		go run ./cmd/gossipnode "$@"
+	fi
+}
+
+BASE_PORT="${SMOKE_BASE_PORT:-4101}"
+SEED_ADDR="127.0.0.1:$BASE_PORT"
+LOGDIR="$(mktemp -d)"
+trap 'rm -rf "$LOGDIR"' EXIT
+
+# Short RPC timeout: a joiner's first ping can race the seed's bind and be
+# lost, and the retry must land well inside the quiet window. The 500-round
+# linger at 2ms pace gives every straggler a 1s window to catch up in.
+COMMON="-n 5 -seed 7 -interval 2ms -linger 500 -rounds 5000 -rpc-timeout 50ms"
+
+i=0
+PIDS=""
+while [ "$i" -lt 5 ]; do
+	PORT=$((BASE_PORT + i))
+	if [ "$i" -eq 0 ]; then
+		EXTRA="-inject 1"
+	else
+		EXTRA="-bootstrap $SEED_ADDR"
+	fi
+	# shellcheck disable=SC2086
+	run_node $COMMON -index "$i" -bind "127.0.0.1:$PORT" $EXTRA \
+		>"$LOGDIR/node$i.log" 2>&1 &
+	PIDS="$PIDS $!"
+	i=$((i + 1))
+done
+
+FAIL=0
+i=0
+for PID in $PIDS; do
+	if ! wait "$PID"; then
+		echo "smoke_procs: node $i exited nonzero" >&2
+		FAIL=1
+	fi
+	i=$((i + 1))
+done
+
+i=0
+while [ "$i" -lt 5 ]; do
+	echo "---- node $i ----"
+	cat "$LOGDIR/node$i.log"
+	if ! grep -q "converged          YES" "$LOGDIR/node$i.log"; then
+		echo "smoke_procs: node $i report lacks convergence" >&2
+		FAIL=1
+	fi
+	i=$((i + 1))
+done
+
+if [ "$FAIL" -ne 0 ]; then
+	echo "smoke_procs: FAIL" >&2
+	exit 1
+fi
+echo "smoke_procs: all 5 processes converged and exited 0"
